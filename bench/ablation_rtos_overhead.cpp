@@ -1,0 +1,46 @@
+// Ablation A (DESIGN.md §4): effect of the RTOS context-switch overhead on
+// the vocoder's end-to-end timing. §4 of the paper: "The RTOS execution time
+// is taken into account during process communication and synchronization...
+// assigning an execution time to those channels and waiting statements
+// executed by processes mapped to SW resources."
+//
+// The sweep shows makespan and CPU utilisation growing with the per-switch
+// cost, and the RTOS share reported separately (§6: "The RTOS overload is
+// evaluated").
+
+#include <cstdio>
+
+#include "workloads/vocoder/pipeline.hpp"
+
+int main() {
+  using namespace workloads::vocoder;
+  constexpr int kFrames = 8;
+
+  std::printf("Ablation: RTOS overhead sweep (vocoder, %d frames, 50 MHz)\n\n",
+              kFrames);
+  std::printf("%14s | %14s %14s %12s\n", "rtos cyc/switch", "makespan (ms)",
+              "rtos time (ms)", "cpu util (%)");
+  std::printf("---------------+--------------------------------------------\n");
+
+  long baseline_checksum = 0;
+  for (double rtos : {0.0, 20.0, 80.0, 200.0, 500.0, 1000.0}) {
+    const AnnotatedResult r = run_annotated(
+        {.frames = kFrames, .cpu_mhz = 50.0, .rtos_cycles_per_switch = rtos});
+    if (baseline_checksum == 0) baseline_checksum = r.checksum;
+    if (r.checksum != baseline_checksum) {
+      std::printf("!! checksum changed with RTOS overhead - functional "
+                  "behaviour must not depend on timing\n");
+    }
+    double rtos_ms = 0.0;
+    double util = 0.0;
+    for (const auto& row : r.report.resources) {
+      if (row.resource == "cpu") {
+        rtos_ms = row.rtos.to_ms_d();
+        util = row.utilization * 100.0;
+      }
+    }
+    std::printf("%14.0f | %14.3f %14.3f %12.1f\n", rtos,
+                r.sim_time.to_ms_d(), rtos_ms, util);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces Figure 4 of the paper: "Implementation solutions" — the
+// area/time design space of a HW segment between the two extreme points the
+// library models: critical-path (best case, fastest/most parallel
+// implementation) and single-ALU (worst case, cheapest implementation).
+//
+// Two sweeps are printed per segment:
+//   1. the behavioural-synthesis Pareto frontier (area vs schedule length),
+//      the curve sketched in the paper's Fig. 4;
+//   2. the library's weighted-mean T = Tmin + (Tmax - Tmin) * k as k sweeps
+//      0..1 (Ablation B: how the single-value annotation walks the segment
+//      between the two extremes).
+
+#include <cstdio>
+
+#include "core/scperf.hpp"
+#include "hls/schedule.hpp"
+#include "workloads/hw_segments.hpp"
+
+namespace {
+
+constexpr double kClockMhz = 100.0;
+constexpr double kClockNs = 1000.0 / kClockMhz;
+
+struct HwRun {
+  double bc = 0;
+  double wc = 0;
+  scperf::Dfg dfg;
+};
+
+HwRun run_segment(const workloads::HwSegment& seg) {
+  HwRun out;
+  minisc::Simulator sim;
+  scperf::Estimator est(sim);
+  auto& hw = est.add_hw_resource("asic", kClockMhz,
+                                 scperf::asic_hw_cost_table(),
+                                 {.k = 0.0, .record_dfg = true});
+  est.map(seg.name, hw);
+  sim.spawn(seg.name, [&] { (void)seg.body(); });
+  sim.run();
+  const auto stats = est.segment_stats(seg.name);
+  out.bc = stats.at(0).bc_cycles_sum;
+  out.wc = stats.at(0).wc_cycles_sum;
+  out.dfg = hls::strip_control(est.segment_dfg(seg.name, "entry->exit"));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const hls::FuLibrary lib = hls::default_fu_library();
+  for (const auto& seg :
+       {workloads::fir_hw_segment(), workloads::euler_hw_segment()}) {
+    const HwRun r = run_segment(seg);
+
+    std::printf("Figure 4 - %s: synthesis area/time Pareto frontier\n",
+                seg.name.c_str());
+    std::printf("  %10s %10s %8s   %s\n", "area", "time(ns)", "cycles",
+                "allocation (ALU/MUL/DIV/MEM)");
+    for (const auto& p : hls::design_space(r.dfg, lib, kClockNs)) {
+      std::printf("  %10.0f %10.0f %8u   %u/%u/%u/%u\n", p.area, p.ns,
+                  p.cycles, p.alloc[hls::FuKind::kAlu],
+                  p.alloc[hls::FuKind::kMul], p.alloc[hls::FuKind::kDiv],
+                  p.alloc[hls::FuKind::kMem]);
+    }
+
+    // Third sweep: time-constrained force-directed synthesis — minimum FU
+    // allocation found for each deadline between the two extremes.
+    const auto wc = hls::sequential_schedule(r.dfg, lib, kClockNs);
+    const auto bc = hls::asap_chained(r.dfg, lib, kClockNs);
+    std::printf("\n  force-directed: minimum allocation per deadline\n");
+    std::printf("  %10s %10s   %s\n", "deadline", "area",
+                "allocation (ALU/MUL/DIV/MEM)");
+    for (std::uint32_t d :
+         {wc.cycles, (wc.cycles + bc.cycles) / 2,
+          (wc.cycles + 3 * bc.cycles) / 4, bc.cycles + 1}) {
+      if (d < bc.cycles) continue;
+      try {
+        const auto fd = hls::force_directed(r.dfg, lib, kClockNs, d);
+        hls::Allocation a = fd.used;
+        std::printf("  %10u %10.0f   %u/%u/%u/%u\n", d, a.area(lib),
+                    a[hls::FuKind::kAlu], a[hls::FuKind::kMul],
+                    a[hls::FuKind::kDiv], a[hls::FuKind::kMem]);
+      } catch (const std::invalid_argument&) {
+        std::printf("  %10u   (below critical path)\n", d);
+      }
+    }
+
+    std::printf("\n  library weighted mean T = Tmin + (Tmax - Tmin) * k "
+                "(Tmin = %.0f, Tmax = %.0f cycles)\n",
+                r.bc, r.wc);
+    std::printf("  %6s %12s\n", "k", "T (cycles)");
+    for (double k = 0.0; k <= 1.0001; k += 0.125) {
+      std::printf("  %6.3f %12.1f\n", k, r.bc + (r.wc - r.bc) * k);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Table 3 of the paper: "SW estimation results for Vocoder".
+// The sequential vocoder is divided into 5 concurrent processes (LSP
+// estimation, LPC interpolation, adaptive- and innovative-codebook searches,
+// post-processing) connected by FIFO channels and mapped to one 50 MHz
+// processor. Per process, the library estimate is compared against the
+// cycle-accurate orsim ISS running identical kernels on identical data; the
+// host-time columns report overhead w.r.t. the untimed specification and
+// gain w.r.t. the ISS.
+//
+// Expected shape (paper): per-process error of a few percent.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "workloads/vocoder/pipeline.hpp"
+
+namespace {
+
+constexpr int kFrames = 20;
+constexpr double kCpuMhz = 50.0;
+
+template <typename Fn>
+double host_ms(Fn&& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace workloads::vocoder;
+
+  long ref_checksum = 0;
+  const double host_ref =
+      host_ms([&] { ref_checksum = run_reference(kFrames); });
+
+  AnnotatedResult ann;
+  const double host_lib =
+      host_ms([&] { ann = run_annotated({.frames = kFrames,
+                                         .cpu_mhz = kCpuMhz,
+                                         .rtos_cycles_per_switch = 80.0}); });
+
+  IssPipelineResult iss;
+  const double host_iss = host_ms([&] { iss = run_iss(kFrames); });
+
+  if (ref_checksum != ann.checksum || ref_checksum != iss.checksum) {
+    std::printf("!! checksum mismatch: ref %ld lib %ld iss %ld\n",
+                ref_checksum, ann.checksum, iss.checksum);
+  }
+
+  std::printf(
+      "Table 3: SW estimation results for Vocoder (%d frames, %g MHz CPU)\n\n",
+      kFrames, kCpuMhz);
+  std::printf("%-12s | %14s %14s %8s\n", "Benchmark", "Library (ms)",
+              "ISS (ms)", "Err(%)");
+  std::printf("-------------+----------------------------------------\n");
+  const std::uint64_t iss_cycles[5] = {iss.cycles.lsp, iss.cycles.lpc_int,
+                                       iss.cycles.acb, iss.cycles.icb,
+                                       iss.cycles.post};
+  for (int p = 0; p < 5; ++p) {
+    const double lib_ms =
+        ann.process_cycles.at(kProcessNames[p]) / kCpuMhz / 1000.0;
+    const double iss_ms =
+        static_cast<double>(iss_cycles[p]) / kCpuMhz / 1000.0;
+    std::printf("%-12s | %14.3f %14.3f %8.2f\n", kProcessNames[p], lib_ms,
+                iss_ms, 100.0 * (lib_ms - iss_ms) / iss_ms);
+  }
+
+  std::printf("\nHost simulation time: spec %.1f ms, library %.1f ms, "
+              "ISS %.1f ms\n",
+              host_ref, host_lib, host_iss);
+  std::printf("Overload w.r.t. SystemC: %.1fx   Gain w.r.t. ISS: %.1fx\n",
+              host_lib / host_ref, host_iss / host_lib);
+  std::printf("\nStrict-timed simulated time: %s  (CPU utilisation shown "
+              "in the report below)\n\n",
+              ann.sim_time.str().c_str());
+  ann.report.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Design-space exploration with the estimation library (the paper's
+// motivating use case: "fast and accurate design space exploration").
+//
+// A four-stage image-ish pipeline (decimate -> filter -> threshold -> pack)
+// is mapped onto candidate architectures; for each mapping the strict-timed
+// simulation yields the makespan and per-resource utilisation, and the
+// functional checksum is asserted identical — timing must never change
+// behaviour for a deterministic specification.
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/scperf.hpp"
+
+using minisc::Fifo;
+using minisc::Simulator;
+using scperf::garray;
+using scperf::gint;
+
+namespace {
+
+constexpr int kBlocks = 12;
+constexpr int kLen = 96;
+
+// ---- the four stages (annotated, mapping-independent) ----------------------
+
+void decimate(Fifo<long>& out) {
+  for (int b = 0; b < kBlocks; ++b) {
+    gint acc = 0;
+    gint i = 0;
+    while (i < kLen) {
+      gint s = (i * 13 + b * 7) % 255;
+      if ((i & 1) == 0) {
+        acc = acc + s;
+      }
+      i = i + 1;
+    }
+    out.write(acc.value());
+  }
+}
+
+void filter(Fifo<long>& in, Fifo<long>& out) {
+  garray<int> taps(8);
+  for (int i = 0; i < 8; ++i) taps.at_raw(static_cast<std::size_t>(i)).set_raw(1 + i);
+  for (int b = 0; b < kBlocks; ++b) {
+    gint v(scperf::detail::RawTag{}, static_cast<int>(in.read()));
+    gint y = 0;
+    gint j = 0;
+    while (j < 8) {
+      y = y + ((v >> j) * taps[j]);
+      j = j + 1;
+    }
+    out.write(y.value());
+  }
+}
+
+void threshold(Fifo<long>& in, Fifo<long>& out) {
+  for (int b = 0; b < kBlocks; ++b) {
+    gint v(scperf::detail::RawTag{}, static_cast<int>(in.read()));
+    gint lvl = 0;
+    gint step = 4096;
+    while (step > 0) {
+      if (v > step) {
+        lvl = lvl + 1;
+        v = v - step;
+      }
+      step = step >> 1;
+    }
+    out.write(lvl.value());
+  }
+}
+
+long pack(Fifo<long>& in) {
+  gint packed = 0;
+  for (int b = 0; b < kBlocks; ++b) {
+    gint v(scperf::detail::RawTag{}, static_cast<int>(in.read()));
+    packed = (packed << 2) ^ v;
+  }
+  return packed.value();
+}
+
+// ---- one mapping = process name -> resource name ---------------------------
+
+struct Architecture {
+  std::string name;
+  std::map<std::string, std::string> mapping;
+};
+
+struct RunOutcome {
+  long checksum = 0;
+  minisc::Time makespan;
+  std::vector<std::string> utilisation;
+};
+
+RunOutcome evaluate(const Architecture& arch) {
+  Simulator sim;
+  scperf::Estimator est(sim);
+  auto& cpu0 = est.add_sw_resource("cpu0", 50.0,
+                                   scperf::orsim_sw_cost_table(),
+                                   {.rtos_cycles_per_switch = 60});
+  auto& cpu1 = est.add_sw_resource("cpu1", 50.0,
+                                   scperf::orsim_sw_cost_table(),
+                                   {.rtos_cycles_per_switch = 60});
+  auto& acc = est.add_hw_resource("acc0", 100.0,
+                                  scperf::asic_hw_cost_table(), {.k = 0.25});
+  std::map<std::string, scperf::Resource*> by_name{
+      {"cpu0", &cpu0}, {"cpu1", &cpu1}, {"acc0", &acc}};
+  for (const auto& [proc, res] : arch.mapping) est.map(proc, *by_name.at(res));
+
+  Fifo<long> c1("c1", 2), c2("c2", 2), c3("c3", 2);
+  RunOutcome out;
+  sim.spawn("decimate", [&] { decimate(c1); });
+  sim.spawn("filter", [&] { filter(c1, c2); });
+  sim.spawn("threshold", [&] { threshold(c2, c3); });
+  sim.spawn("pack", [&] { out.checksum = pack(c3); });
+  sim.run();
+  out.makespan = sim.now();
+  for (const auto& row : est.report().resources) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s %.0f%%", row.resource.c_str(),
+                  row.utilization * 100.0);
+    out.utilisation.push_back(buf);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Architecture> candidates = {
+      {"single CPU",
+       {{"decimate", "cpu0"},
+        {"filter", "cpu0"},
+        {"threshold", "cpu0"},
+        {"pack", "cpu0"}}},
+      {"two CPUs (front/back split)",
+       {{"decimate", "cpu0"},
+        {"filter", "cpu0"},
+        {"threshold", "cpu1"},
+        {"pack", "cpu1"}}},
+      {"CPU + accelerator for filter",
+       {{"decimate", "cpu0"},
+        {"filter", "acc0"},
+        {"threshold", "cpu0"},
+        {"pack", "cpu0"}}},
+      {"two CPUs + accelerator",
+       {{"decimate", "cpu0"},
+        {"filter", "acc0"},
+        {"threshold", "cpu1"},
+        {"pack", "cpu1"}}},
+  };
+
+  std::cout << "Architectural mapping exploration (" << kBlocks
+            << " blocks)\n\n";
+  long reference_checksum = 0;
+  for (const auto& arch : candidates) {
+    const RunOutcome out = evaluate(arch);
+    if (reference_checksum == 0) reference_checksum = out.checksum;
+    std::cout << "  " << arch.name << "\n    makespan: " << out.makespan.str()
+              << "   checksum: " << out.checksum
+              << (out.checksum == reference_checksum ? "" : "  (MISMATCH!)")
+              << "\n    utilisation:";
+    for (const auto& u : out.utilisation) std::cout << "  " << u;
+    std::cout << "\n\n";
+  }
+  std::cout << "Identical checksums across mappings confirm the "
+            << "specification is deterministic (paper §6).\n";
+  return 0;
+}

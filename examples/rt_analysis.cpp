@@ -1,0 +1,175 @@
+// The §6 real-time workflow, end to end: "Based on the mean execution times
+// and periods of the different processes, rate analysis and scheduling for
+// soft, real-time embedded systems can be performed. The instantaneous
+// execution times for the segments in the different processes can be used
+// for performance verification and scheduling of hard, real-time systems."
+//
+// Three periodic tasks share one priority-scheduled (non-preemptive) CPU.
+// The flow, run twice:
+//
+//   configuration A: the background logger computes its whole job in ONE
+//   segment. Non-preemptive response-time analysis flags the high-priority
+//   control task as unschedulable (blocking term > deadline), and the
+//   simulation indeed observes deadline misses.
+//
+//   configuration B: the logger's loop gets yield points (wait(0)) every few
+//   hundred iterations — in this methodology a yield ends the segment, so
+//   the blocking term shrinks. The analysis turns SCHEDULABLE and the
+//   simulation observes every deadline met.
+//
+// Both the analytical inputs (per-segment worst-case times) and the observed
+// response times come out of the same estimation run.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scperf.hpp"
+#include "trace/schedulability.hpp"
+#include "trace/stats.hpp"
+
+namespace {
+
+constexpr double kMhz = 100.0;
+
+struct TaskSpec {
+  std::string name;
+  int work_items;       // inner-loop trip count (defines C)
+  int yield_every;      // 0 = monolithic; N = wait(0) every N items
+  minisc::Time period;  // activation period (defines T)
+  double priority;      // static priority (rate-monotonic here)
+  int jobs;
+};
+
+void periodic_task(const TaskSpec& spec, scperf::CapturePoint& release,
+                   scperf::CapturePoint& completion) {
+  for (int j = 0; j < spec.jobs; ++j) {
+    const minisc::Time release_time = minisc::now();
+    release.record(j);
+    scperf::gint acc(scperf::detail::RawTag{}, 0);
+    scperf::gint i = 0;
+    int since_yield = 0;
+    while (i < spec.work_items) {
+      acc = acc + ((i * 3) >> 1);
+      i = i + 1;
+      if (spec.yield_every > 0 && ++since_yield == spec.yield_every) {
+        since_yield = 0;
+        minisc::wait(minisc::Time::zero());  // segment boundary
+      }
+    }
+    minisc::wait(minisc::Time::zero());  // node: back-annotates the job
+    completion.record(j);
+    const minisc::Time elapsed = minisc::now() - release_time;
+    if (elapsed < spec.period) {
+      minisc::wait(spec.period - elapsed);
+    }
+  }
+}
+
+struct TaskResult {
+  double c_job_us = 0;      // per-job execution time (sum of its segments)
+  double c_seg_max_us = 0;  // longest single segment
+  double observed_r_us = 0;
+  int deadline_misses = 0;
+};
+
+void run_configuration(const char* title,
+                       const std::vector<TaskSpec>& specs) {
+  minisc::Simulator sim;
+  scperf::Estimator est(sim);
+  auto& cpu = est.add_sw_resource(
+      "cpu", kMhz, scperf::orsim_sw_cost_table(),
+      {.rtos_cycles_per_switch = 40,
+       .policy = scperf::SchedulingPolicy::kPriority});
+
+  scperf::CaptureRegistry reg;
+  std::vector<std::unique_ptr<scperf::CapturePoint>> releases, completions;
+  for (const auto& s : specs) {
+    releases.push_back(
+        std::make_unique<scperf::CapturePoint>(s.name + ".release", reg));
+    completions.push_back(
+        std::make_unique<scperf::CapturePoint>(s.name + ".done", reg));
+    est.map(s.name, cpu, s.priority);
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    sim.spawn(specs[i].name, [&, i] {
+      periodic_task(specs[i], *releases[i], *completions[i]);
+    });
+  }
+  sim.run();
+
+  // ---- measured parameters ----
+  std::vector<TaskResult> results(specs.size());
+  std::vector<sctrace::PeriodicTask> tasks;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    TaskResult& r = results[i];
+    double job_cycles = 0;
+    double seg_max = 0;
+    for (const auto& seg : est.segment_stats(specs[i].name)) {
+      seg_max = std::max(seg_max, seg.cycles_max);
+      // Per-job cost: total cycles divided by the number of jobs.
+      job_cycles += seg.cycles_sum;
+    }
+    r.c_job_us = job_cycles / specs[i].jobs / kMhz;
+    r.c_seg_max_us = seg_max / kMhz;
+    const auto rts = sctrace::response_times_ns(releases[i]->events(),
+                                                completions[i]->events());
+    for (double rt : rts) {
+      r.observed_r_us = std::max(r.observed_r_us, rt / 1000.0);
+      if (rt / 1000.0 > specs[i].period.to_us_d()) ++r.deadline_misses;
+    }
+    tasks.push_back({r.c_job_us, specs[i].period.to_us_d()});
+  }
+
+  // ---- non-preemptive RTA with segment-level blocking ----
+  std::vector<double> blocking(specs.size(), 0.0);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      blocking[i] = std::max(blocking[i], results[j].c_seg_max_us);
+    }
+  }
+  const auto rta = sctrace::response_time_analysis_np(tasks, blocking);
+
+  std::printf("%s\n", title);
+  std::printf("  %-8s %10s %12s %10s %12s %12s %8s\n", "task", "C_job(us)",
+              "C_seg_max", "T (us)", "RTA R (us)", "observed R", "misses");
+  bool all_ok = true;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const bool ok = rta[i].has_value();
+    all_ok = all_ok && ok;
+    std::printf("  %-8s %10.2f %12.2f %10.0f %12s %12.2f %8d\n",
+                specs[i].name.c_str(), results[i].c_job_us,
+                results[i].c_seg_max_us, specs[i].period.to_us_d(),
+                ok ? std::to_string(*rta[i]).substr(0, 6).c_str() : "MISS",
+                results[i].observed_r_us, results[i].deadline_misses);
+  }
+  std::printf("  verdict: %s (U = %.3f)\n\n",
+              all_ok ? "SCHEDULABLE" : "NOT schedulable",
+              sctrace::utilization(tasks));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Non-preemptive fixed-priority analysis from estimation data\n\n");
+  run_configuration(
+      "configuration A: monolithic logger segment (blocking kills ctrl)",
+      {
+          {"ctrl", 120, 0, minisc::Time::us(50), 3.0, 40},
+          {"comms", 230, 0, minisc::Time::us(120), 2.0, 16},
+          {"logger", 850, 0, minisc::Time::us(400), 1.0, 5},
+      });
+  run_configuration(
+      "configuration B: logger yields every 200 items (segments shrink)",
+      {
+          {"ctrl", 120, 0, minisc::Time::us(50), 3.0, 40},
+          {"comms", 230, 0, minisc::Time::us(120), 2.0, 16},
+          {"logger", 850, 200, minisc::Time::us(400), 1.0, 5},
+      });
+  std::printf(
+      "Splitting the logger's segment with yield points shrinks the\n"
+      "non-preemptive blocking term - the analysis and the simulated\n"
+      "deadline behaviour agree on both configurations.\n");
+  return 0;
+}

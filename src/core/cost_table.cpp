@@ -1,0 +1,208 @@
+#include "core/cost_table.hpp"
+
+namespace scperf {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kAssign:
+      return "=";
+    case Op::kAssignRes:
+      return "=r";
+    case Op::kAdd:
+      return "+";
+    case Op::kSub:
+      return "-";
+    case Op::kMul:
+      return "*";
+    case Op::kDiv:
+      return "/";
+    case Op::kMod:
+      return "%";
+    case Op::kNeg:
+      return "neg";
+    case Op::kEq:
+      return "==";
+    case Op::kNe:
+      return "!=";
+    case Op::kLt:
+      return "<";
+    case Op::kLe:
+      return "<=";
+    case Op::kGt:
+      return ">";
+    case Op::kGe:
+      return ">=";
+    case Op::kBitAnd:
+      return "&";
+    case Op::kBitOr:
+      return "|";
+    case Op::kBitXor:
+      return "^";
+    case Op::kBitNot:
+      return "~";
+    case Op::kShl:
+      return "<<";
+    case Op::kShr:
+      return ">>";
+    case Op::kLogicalNot:
+      return "!";
+    case Op::kBranch:
+      return "if";
+    case Op::kIndex:
+      return "[]";
+    case Op::kCall:
+      return "call";
+    case Op::kReturn:
+      return "ret";
+    case Op::kCount_:
+      break;
+  }
+  return "?";
+}
+
+CostTable orsim_sw_cost_table() {
+  // Calibrated against the orsim cycle model (src/iss/cycle_model.hpp) by
+  // fitting the per-C++-object weights to the ISS cycle counts of a set of
+  // calibration kernels — the same procedure the paper applies to OpenRISC
+  // assembler listings ("Library weights were obtained analyzing assembler
+  // code from several functions specifically developed for this purpose",
+  // §5). The values are therefore *averages over compiled instruction
+  // sequences*, not architectural latencies: e.g. an assignment averages
+  // ~2 cycles because most source-level assignments imply a memory move,
+  // while an addition averages well under 1 cycle because many additions
+  // fold into addressing modes. The paper's own t_if = 2.4 (Fig. 3) is a
+  // weight of exactly this nature. See examples/calibration.cpp for the
+  // derivation workflow.
+  CostTable t;
+  t.set(Op::kAssign, 0.51)
+      .set(Op::kAssignRes, 2.10)
+      .set(Op::kAdd, 0.11)
+      .set(Op::kSub, 0.30)
+      .set(Op::kMul, 2.91)
+      .set(Op::kDiv, 20.0)
+      .set(Op::kMod, 21.0)
+      .set(Op::kNeg, 1.0)
+      .set(Op::kEq, 1.05)
+      .set(Op::kNe, 1.05)
+      .set(Op::kLt, 1.05)
+      .set(Op::kLe, 1.05)
+      .set(Op::kGt, 1.05)
+      .set(Op::kGe, 1.05)
+      .set(Op::kBitAnd, 1.0)
+      .set(Op::kBitOr, 1.0)
+      .set(Op::kBitXor, 1.0)
+      .set(Op::kBitNot, 1.0)
+      .set(Op::kShl, 0.99)
+      .set(Op::kShr, 0.99)
+      .set(Op::kLogicalNot, 1.05)
+      .set(Op::kBranch, 3.30)
+      .set(Op::kIndex, 1.22)
+      .set(Op::kCall, 7.52)
+      .set(Op::kReturn, 3.76);
+  return t;
+}
+
+CostTable asic_hw_cost_table() {
+  // Per-operation latency in target-clock cycles, "a multiple of the clock
+  // period" (§3). Matches the FU latency library of the behavioural
+  // synthesis substitute (src/hls/fu_library.cpp) at a 100 MHz clock.
+  // Comparisons are priced at a fraction of a cycle: most source-level
+  // comparisons are loop-control tests the synthesis tool folds into the
+  // controller FSM for free, but some are genuine datapath operations — the
+  // 0.25 is the calibrated average, the same philosophy as the SW table.
+  CostTable t;
+  t.set(Op::kAssign, 0.0)  // wiring / register alias
+      .set(Op::kAssignRes, 0.0)
+      .set(Op::kAdd, 1.0)
+      .set(Op::kSub, 1.0)
+      .set(Op::kMul, 2.0)
+      .set(Op::kDiv, 8.0)
+      .set(Op::kMod, 8.0)
+      .set(Op::kNeg, 1.0)
+      .set(Op::kEq, 0.25)
+      .set(Op::kNe, 0.25)
+      .set(Op::kLt, 0.25)
+      .set(Op::kLe, 0.25)
+      .set(Op::kGt, 0.25)
+      .set(Op::kGe, 0.25)
+      .set(Op::kBitAnd, 1.0)
+      .set(Op::kBitOr, 1.0)
+      .set(Op::kBitXor, 1.0)
+      .set(Op::kBitNot, 1.0)
+      .set(Op::kShl, 1.0)
+      .set(Op::kShr, 1.0)
+      .set(Op::kLogicalNot, 1.0)
+      .set(Op::kBranch, 0.0)  // control folded into the FSM
+      .set(Op::kIndex, 1.0)   // memory port access
+      .set(Op::kCall, 0.0)
+      .set(Op::kReturn, 0.0);
+  return t;
+}
+
+
+EnergyTable orsim_energy_table() {
+  // pJ per source-level operation on the modelled 0.18um-class embedded
+  // core: memory-traffic ops dominate (cache/array access ~3-4x an ALU op),
+  // multiplies and divides cost roughly in proportion to their latency.
+  EnergyTable t;
+  t.set(Op::kAssign, 18.0)     // data move: load or store
+      .set(Op::kAssignRes, 6.0)
+      .set(Op::kAdd, 4.0)
+      .set(Op::kSub, 4.0)
+      .set(Op::kMul, 22.0)
+      .set(Op::kDiv, 110.0)
+      .set(Op::kMod, 115.0)
+      .set(Op::kNeg, 4.0)
+      .set(Op::kEq, 4.0)
+      .set(Op::kNe, 4.0)
+      .set(Op::kLt, 4.0)
+      .set(Op::kLe, 4.0)
+      .set(Op::kGt, 4.0)
+      .set(Op::kGe, 4.0)
+      .set(Op::kBitAnd, 3.0)
+      .set(Op::kBitOr, 3.0)
+      .set(Op::kBitXor, 3.0)
+      .set(Op::kBitNot, 3.0)
+      .set(Op::kShl, 3.5)
+      .set(Op::kShr, 3.5)
+      .set(Op::kLogicalNot, 3.0)
+      .set(Op::kBranch, 8.0)   // fetch redirect
+      .set(Op::kIndex, 14.0)   // address computation + memory access share
+      .set(Op::kCall, 30.0)
+      .set(Op::kReturn, 20.0);
+  return t;
+}
+
+EnergyTable asic_energy_table() {
+  // Dedicated datapath: no fetch/decode overhead, so per-op energy is far
+  // below the processor's.
+  EnergyTable t;
+  t.set(Op::kAssign, 0.5)
+      .set(Op::kAssignRes, 0.5)
+      .set(Op::kAdd, 1.2)
+      .set(Op::kSub, 1.2)
+      .set(Op::kMul, 9.0)
+      .set(Op::kDiv, 40.0)
+      .set(Op::kMod, 40.0)
+      .set(Op::kNeg, 1.0)
+      .set(Op::kEq, 0.8)
+      .set(Op::kNe, 0.8)
+      .set(Op::kLt, 0.8)
+      .set(Op::kLe, 0.8)
+      .set(Op::kGt, 0.8)
+      .set(Op::kGe, 0.8)
+      .set(Op::kBitAnd, 0.6)
+      .set(Op::kBitOr, 0.6)
+      .set(Op::kBitXor, 0.6)
+      .set(Op::kBitNot, 0.6)
+      .set(Op::kShl, 0.7)
+      .set(Op::kShr, 0.7)
+      .set(Op::kLogicalNot, 0.6)
+      .set(Op::kBranch, 0.0)
+      .set(Op::kIndex, 5.0)  // on-chip memory port
+      .set(Op::kCall, 0.0)
+      .set(Op::kReturn, 0.0);
+  return t;
+}
+
+}  // namespace scperf

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "core/op.hpp"
+
+namespace scperf {
+
+/// Per-resource execution cost of each C++ object, in clock cycles of that
+/// resource. Fractional cycles are allowed — the paper's own example uses
+/// t_if = 2.4 — because the weights are calibrated averages over assembler
+/// sequences, not per-instance exact counts.
+///
+/// The paper expects these tables to be "provided by the platform vendor";
+/// here the SW table is calibrated against the orsim ISS cycle model and the
+/// HW table against the FU latency library used by the behavioural-synthesis
+/// substitute (see DESIGN.md §2).
+class CostTable {
+ public:
+  constexpr CostTable() : cycles_{} {}
+
+  constexpr double operator[](Op op) const {
+    return cycles_[static_cast<std::size_t>(op)];
+  }
+  constexpr CostTable& set(Op op, double cycles) {
+    cycles_[static_cast<std::size_t>(op)] = cycles;
+    return *this;
+  }
+
+  /// Every op costs `c` cycles — useful in tests.
+  static constexpr CostTable uniform(double c) {
+    CostTable t;
+    for (auto& v : t.cycles_) v = c;
+    return t;
+  }
+
+ private:
+  std::array<double, kNumOps> cycles_;
+};
+
+/// SW cost table calibrated against the orsim ISS cycle model (the role the
+/// paper's OpenRISC assembler analysis plays): weights approximate the cycle
+/// cost of the assembler sequence each C++ object compiles to, including its
+/// share of addressing and register-move overhead.
+CostTable orsim_sw_cost_table();
+
+/// HW cost table: per-operation latency expressed in cycles of the target
+/// clock, rounded up to "a multiple of the clock period" as §3 prescribes
+/// for the best-case estimate. Matches the FU library in src/hls.
+CostTable asic_hw_cost_table();
+
+/// Per-operation energy, in picojoules. The paper's introduction lists
+/// consumption among the performance parameters of interest; the estimation
+/// machinery supports it for free, because energy — unlike time — needs no
+/// back-annotation: it is the dot product of the executed-operation
+/// histogram with a per-op energy table, computed after the fact.
+using EnergyTable = CostTable;
+
+/// Energy characterisation of the orsim-class embedded core (pJ per
+/// C++-level operation at the calibrated abstraction level).
+EnergyTable orsim_energy_table();
+
+/// Energy characterisation of the HW FU library (pJ per operation).
+EnergyTable asic_energy_table();
+
+}  // namespace scperf

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/op.hpp"
+
+namespace scperf {
+
+/// One operation of a segment's dataflow graph. Operand ids are 1-based
+/// indices of earlier nodes; 0 denotes an external input (a value that was
+/// produced before the segment started, a constant, or a memory load).
+struct DfgNode {
+  Op op;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// Dataflow graph of one executed segment, recorded online while the
+/// annotated code runs on a HW resource. Consumed by the behavioural
+/// synthesis substitute (src/hls) to obtain "real" schedule lengths for
+/// Tables 2 and 4.
+struct Dfg {
+  std::vector<DfgNode> nodes;
+
+  bool empty() const { return nodes.empty(); }
+  std::size_t size() const { return nodes.size(); }
+};
+
+}  // namespace scperf

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+
+namespace scperf {
+
+/// The C++ objects the estimation library charges for (§3 of the paper:
+/// "All the C++ objects, which contribute to the execution time of the
+/// resource ... are redefined in order to calculate their time contribution
+/// when they are executed").
+enum class Op : unsigned char {
+  kAssign,     ///< copy from an lvalue: a genuine data move (load/store)
+  kAssignRes,  ///< store of an operator result or literal (register
+               ///< write-back; typically folded into the producing op)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kNeg,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kBitAnd,
+  kBitOr,
+  kBitXor,
+  kBitNot,
+  kShl,
+  kShr,
+  kLogicalNot,
+  kBranch,  ///< contextual bool conversion: `if` / `while` / `?:` condition
+  kIndex,   ///< operator[] address computation + access
+  kCall,    ///< function-call entry (the paper's t_fc)
+  kReturn,  ///< function return
+  kCount_,  ///< sentinel
+};
+
+inline constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kCount_);
+
+const char* to_string(Op op);
+
+}  // namespace scperf

@@ -1,0 +1,23 @@
+// Deliberately NOT #pragma once: meant to be included (and later undone with
+// restore_types.hpp) around an unmodified source region.
+//
+// This header implements the paper's zero-modification mechanism: "the
+// library automatically replaces ordinary variable types by a new class. So,
+// for example, the int type used in C language is replaced by a generic_int
+// type with a #define statement" (§3).
+//
+// Include it AFTER all system/library headers, immediately before the user
+// code to be annotated, and include restore_types.hpp right after that code.
+// Only the region in between sees the annotated types, so the rest of the
+// translation unit is unaffected.
+
+#include "core/annot.hpp"
+
+// NOLINTBEGIN: redefining keywords is exactly the paper's technique; the
+// scope is bounded by restore_types.hpp.
+#define int ::scperf::gint
+#define long ::scperf::glong
+#define bool ::scperf::gbool
+#define float ::scperf::gfloat
+#define double ::scperf::gdouble
+// NOLINTEND

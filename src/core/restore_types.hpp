@@ -1,0 +1,7 @@
+// Ends the annotated region opened by redefine_types.hpp (see there).
+
+#undef int
+#undef long
+#undef bool
+#undef float
+#undef double

@@ -1,0 +1,20 @@
+#pragma once
+
+/// Umbrella header of the scperf system-level performance-analysis library.
+///
+/// Reproduces Posadas et al., "System-Level Performance Analysis in SystemC",
+/// DATE 2004. Include this (and link `scperf_core`) to add dynamic timing
+/// estimation to a minisc simulation; see README.md for a quickstart and
+/// examples/quickstart.cpp for a complete program.
+
+#include "core/annot.hpp"      // IWYU pragma: export
+#include "core/capture.hpp"    // IWYU pragma: export
+#include "core/context.hpp"    // IWYU pragma: export
+#include "core/cost_table.hpp" // IWYU pragma: export
+#include "core/dfg.hpp"        // IWYU pragma: export
+#include "core/estimator.hpp"  // IWYU pragma: export
+#include "core/op.hpp"         // IWYU pragma: export
+#include "core/report.hpp"     // IWYU pragma: export
+#include "core/resource.hpp"   // IWYU pragma: export
+#include "kernel/channels.hpp" // IWYU pragma: export
+#include "kernel/simulator.hpp"// IWYU pragma: export

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dfg.hpp"
+#include "hls/fu_library.hpp"
+
+namespace hls {
+
+/// Result of scheduling one segment DFG.
+struct ScheduleResult {
+  std::uint32_t cycles = 0;        ///< schedule length (clock cycles)
+  double ns = 0.0;                 ///< cycles * clock period
+  std::vector<std::uint32_t> start_cycle;  ///< per DFG node (0-based)
+  Allocation used;                 ///< peak concurrent FUs per kind
+  double area(const FuLibrary& lib) const { return used.area(lib); }
+};
+
+/// Removes control operations a behavioural synthesis tool folds into the
+/// controller FSM rather than scheduling on the datapath: branch nodes, and
+/// comparison nodes whose results are consumed only by branches (loop exit
+/// tests). Data-flow comparisons (e.g. a running max) are kept. Node indices
+/// are remapped; severed control inputs become external inputs.
+scperf::Dfg strip_control(const scperf::Dfg& dfg);
+
+/// Time-constrained scheduling: ASAP with cycle-boundary-aware operator
+/// chaining. A single-cycle operation may chain after its producer within
+/// the same clock period, but an operation whose execution would cross a
+/// cycle boundary is registered and starts at the next boundary; multi-cycle
+/// operations always start on a boundary and hold whole cycles. This is the
+/// behavioural-synthesis "fastest implementation" end of Fig. 4, against
+/// which the library's best-case estimate is judged.
+ScheduleResult asap_chained(const scperf::Dfg& dfg, const FuLibrary& lib,
+                            double clock_ns);
+
+/// Resource-constrained synthesis with a single shared datapath unit: every
+/// (non-wiring) operation executes sequentially, each occupying whole clock
+/// cycles. The paper's "only one ALU is used and all the operations are
+/// executed sequentially" end of the design space.
+ScheduleResult sequential_schedule(const scperf::Dfg& dfg,
+                                   const FuLibrary& lib, double clock_ns);
+
+/// ALAP start cycles for the given deadline (used as list-scheduling
+/// priority: less slack = more urgent). Chaining disabled: every op takes
+/// ceil(delay / clock) full cycles.
+std::vector<std::uint32_t> alap_cycles(const scperf::Dfg& dfg,
+                                       const FuLibrary& lib, double clock_ns,
+                                       std::uint32_t deadline);
+
+/// Resource-constrained list scheduling with ALAP-slack priority, no
+/// chaining (operations start on cycle boundaries and hold their FU for
+/// ceil(delay / clock) cycles). With Allocation::minimal() this is the
+/// behavioural-synthesis "single ALU" worst-case end of Fig. 4.
+ScheduleResult list_schedule(const scperf::Dfg& dfg, const FuLibrary& lib,
+                             double clock_ns, const Allocation& alloc);
+
+/// Time-constrained force-directed scheduling (Paulin & Knight): place
+/// every operation within [ASAP, ALAP] of the given deadline so that the
+/// expected concurrency ("distribution graph") per FU kind is as flat as
+/// possible, minimising the peak FU requirement — the classic complement to
+/// resource-constrained list scheduling. Chaining off; `deadline_cycles`
+/// must be at least the unchained critical path (throws otherwise).
+ScheduleResult force_directed(const scperf::Dfg& dfg, const FuLibrary& lib,
+                              double clock_ns, std::uint32_t deadline_cycles);
+
+/// One point of the Fig. 4 design space.
+struct DesignPoint {
+  Allocation alloc;
+  std::uint32_t cycles = 0;
+  double ns = 0.0;
+  double area = 0.0;
+};
+
+/// Sweeps FU allocations from minimal to full parallelism and returns the
+/// area/time Pareto frontier (sorted by increasing area, decreasing time).
+std::vector<DesignPoint> design_space(const scperf::Dfg& dfg,
+                                      const FuLibrary& lib, double clock_ns);
+
+}  // namespace hls

@@ -1,0 +1,306 @@
+#include "iss/assembler.hpp"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+namespace iss {
+
+std::uint32_t Program::label(const std::string& name) const {
+  const auto it = labels.find(name);
+  if (it == labels.end()) {
+    throw std::out_of_range("iss: unknown label '" + name + "'");
+  }
+  return it->second;
+}
+
+AsmError::AsmError(std::size_t line, const std::string& message)
+    : std::runtime_error("asm line " + std::to_string(line) + ": " + message),
+      line_(line) {}
+
+namespace {
+
+/// Operand shapes an instruction can require.
+enum class Form {
+  kRRR,     ///< op rd, ra, rb
+  kRRI,     ///< op rd, ra, imm
+  kRI,      ///< op rd, imm          (movhi)
+  kMem,     ///< op rd, off(ra)      (lw/lb) or op rs, off(ra) (sw/sb)
+  kRR,      ///< op ra, rb           (compares)
+  kRImm,    ///< op ra, imm          (compare-immediate)
+  kLabel,   ///< op label
+  kReg,     ///< op ra               (jr)
+  kNone,    ///< op
+};
+
+struct Mnemonic {
+  Opcode op;
+  Form form;
+};
+
+const std::unordered_map<std::string, Mnemonic>& mnemonics() {
+  static const std::unordered_map<std::string, Mnemonic> kTable = {
+      {"add", {Opcode::kAdd, Form::kRRR}},
+      {"sub", {Opcode::kSub, Form::kRRR}},
+      {"and", {Opcode::kAnd, Form::kRRR}},
+      {"or", {Opcode::kOr, Form::kRRR}},
+      {"xor", {Opcode::kXor, Form::kRRR}},
+      {"sll", {Opcode::kSll, Form::kRRR}},
+      {"srl", {Opcode::kSrl, Form::kRRR}},
+      {"sra", {Opcode::kSra, Form::kRRR}},
+      {"mul", {Opcode::kMul, Form::kRRR}},
+      {"div", {Opcode::kDiv, Form::kRRR}},
+      {"addi", {Opcode::kAddi, Form::kRRI}},
+      {"andi", {Opcode::kAndi, Form::kRRI}},
+      {"ori", {Opcode::kOri, Form::kRRI}},
+      {"xori", {Opcode::kXori, Form::kRRI}},
+      {"slli", {Opcode::kSlli, Form::kRRI}},
+      {"srli", {Opcode::kSrli, Form::kRRI}},
+      {"srai", {Opcode::kSrai, Form::kRRI}},
+      {"movhi", {Opcode::kMovhi, Form::kRI}},
+      {"lw", {Opcode::kLw, Form::kMem}},
+      {"sw", {Opcode::kSw, Form::kMem}},
+      {"lb", {Opcode::kLb, Form::kMem}},
+      {"sb", {Opcode::kSb, Form::kMem}},
+      {"sfeq", {Opcode::kSfeq, Form::kRR}},
+      {"sfne", {Opcode::kSfne, Form::kRR}},
+      {"sflt", {Opcode::kSflt, Form::kRR}},
+      {"sfle", {Opcode::kSfle, Form::kRR}},
+      {"sfgt", {Opcode::kSfgt, Form::kRR}},
+      {"sfge", {Opcode::kSfge, Form::kRR}},
+      {"sfeqi", {Opcode::kSfeqi, Form::kRImm}},
+      {"sfnei", {Opcode::kSfnei, Form::kRImm}},
+      {"sflti", {Opcode::kSflti, Form::kRImm}},
+      {"sflei", {Opcode::kSflei, Form::kRImm}},
+      {"sfgti", {Opcode::kSfgti, Form::kRImm}},
+      {"sfgei", {Opcode::kSfgei, Form::kRImm}},
+      {"bf", {Opcode::kBf, Form::kLabel}},
+      {"bnf", {Opcode::kBnf, Form::kLabel}},
+      {"j", {Opcode::kJ, Form::kLabel}},
+      {"jal", {Opcode::kJal, Form::kLabel}},
+      {"jr", {Opcode::kJr, Form::kReg}},
+      {"nop", {Opcode::kNop, Form::kNone}},
+      {"halt", {Opcode::kHalt, Form::kNone}},
+  };
+  return kTable;
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  cur = strip(cur);
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::uint8_t parse_reg(std::size_t line, const std::string& tok) {
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R')) {
+    throw AsmError(line, "expected register, got '" + tok + "'");
+  }
+  int n = 0;
+  for (std::size_t i = 1; i < tok.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(tok[i]))) {
+      throw AsmError(line, "bad register '" + tok + "'");
+    }
+    n = n * 10 + (tok[i] - '0');
+  }
+  if (n > 31) throw AsmError(line, "register out of range '" + tok + "'");
+  return static_cast<std::uint8_t>(n);
+}
+
+std::int32_t parse_imm(std::size_t line, const std::string& tok) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(tok, &pos, 0);  // base 0: dec/hex/oct
+    if (pos != tok.size()) throw AsmError(line, "bad immediate '" + tok + "'");
+    return static_cast<std::int32_t>(v);
+  } catch (const std::invalid_argument&) {
+    throw AsmError(line, "bad immediate '" + tok + "'");
+  } catch (const std::out_of_range&) {
+    throw AsmError(line, "immediate out of range '" + tok + "'");
+  }
+}
+
+/// Parses "off(rN)" into (offset, reg).
+std::pair<std::int32_t, std::uint8_t> parse_mem(std::size_t line,
+                                                const std::string& tok) {
+  const std::size_t open = tok.find('(');
+  const std::size_t close = tok.find(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    throw AsmError(line, "expected off(rN), got '" + tok + "'");
+  }
+  const std::string off = strip(tok.substr(0, open));
+  const std::string reg = strip(tok.substr(open + 1, close - open - 1));
+  return {off.empty() ? 0 : parse_imm(line, off), parse_reg(line, reg)};
+}
+
+struct PendingFixup {
+  std::size_t instr_index;
+  std::string label;
+  std::size_t line;
+};
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  Program prog;
+  std::vector<PendingFixup> fixups;
+
+  std::istringstream in(source);
+  std::string raw_line;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw_line)) {
+    ++line_no;
+    // Drop comments.
+    const std::size_t hash = raw_line.find_first_of("#;");
+    if (hash != std::string::npos) raw_line.resize(hash);
+    std::string line = strip(raw_line);
+    if (line.empty()) continue;
+
+    // Leading labels (possibly several on one line).
+    while (true) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) break;
+      const std::string label = strip(line.substr(0, colon));
+      if (label.empty() ||
+          label.find_first_of(" \t") != std::string::npos) {
+        throw AsmError(line_no, "bad label '" + label + "'");
+      }
+      if (prog.labels.count(label) != 0) {
+        throw AsmError(line_no, "duplicate label '" + label + "'");
+      }
+      prog.labels[label] = static_cast<std::uint32_t>(prog.instrs.size());
+      line = strip(line.substr(colon + 1));
+    }
+    if (line.empty()) continue;
+
+    // Mnemonic + operands.
+    const std::size_t sp = line.find_first_of(" \t");
+    std::string mn = sp == std::string::npos ? line : line.substr(0, sp);
+    for (char& c : mn) c = static_cast<char>(std::tolower(c));
+    const std::string rest = sp == std::string::npos ? "" : strip(line.substr(sp));
+    const auto ops = split_operands(rest);
+
+    // ---- pseudo-instructions ----
+    if (mn == "li") {
+      if (ops.size() != 2) throw AsmError(line_no, "li needs rd, imm");
+      const std::uint8_t rd = parse_reg(line_no, ops[0]);
+      const std::int32_t imm = parse_imm(line_no, ops[1]);
+      if (imm >= -32768 && imm <= 32767) {
+        prog.instrs.push_back({Opcode::kAddi, rd, 0, 0, imm, 0});
+      } else {
+        const auto u = static_cast<std::uint32_t>(imm);
+        prog.instrs.push_back(
+            {Opcode::kMovhi, rd, 0, 0,
+             static_cast<std::int32_t>(u >> 16), 0});
+        prog.instrs.push_back(
+            {Opcode::kOri, rd, rd, 0,
+             static_cast<std::int32_t>(u & 0xffffu), 0});
+      }
+      continue;
+    }
+    if (mn == "mov") {
+      if (ops.size() != 2) throw AsmError(line_no, "mov needs rd, ra");
+      prog.instrs.push_back({Opcode::kOri, parse_reg(line_no, ops[0]),
+                             parse_reg(line_no, ops[1]), 0, 0, 0});
+      continue;
+    }
+    if (mn == "ret") {
+      prog.instrs.push_back({Opcode::kJr, 0, 9, 0, 0, 0});
+      continue;
+    }
+
+    const auto it = mnemonics().find(mn);
+    if (it == mnemonics().end()) {
+      throw AsmError(line_no, "unknown mnemonic '" + mn + "'");
+    }
+    const auto [op, form] = it->second;
+    Instr ins;
+    ins.op = op;
+    const auto need = [&](std::size_t n) {
+      if (ops.size() != n) {
+        throw AsmError(line_no, mn + " expects " + std::to_string(n) +
+                                    " operand(s)");
+      }
+    };
+    switch (form) {
+      case Form::kRRR:
+        need(3);
+        ins.rd = parse_reg(line_no, ops[0]);
+        ins.ra = parse_reg(line_no, ops[1]);
+        ins.rb = parse_reg(line_no, ops[2]);
+        break;
+      case Form::kRRI:
+        need(3);
+        ins.rd = parse_reg(line_no, ops[0]);
+        ins.ra = parse_reg(line_no, ops[1]);
+        ins.imm = parse_imm(line_no, ops[2]);
+        break;
+      case Form::kRI:
+        need(2);
+        ins.rd = parse_reg(line_no, ops[0]);
+        ins.imm = parse_imm(line_no, ops[1]);
+        break;
+      case Form::kMem: {
+        need(2);
+        // lw/lb: rd is destination; sw/sb: the register operand is the
+        // source, stored in rd as well.
+        ins.rd = parse_reg(line_no, ops[0]);
+        const auto [off, base] = parse_mem(line_no, ops[1]);
+        ins.imm = off;
+        ins.ra = base;
+        break;
+      }
+      case Form::kRR:
+        need(2);
+        ins.ra = parse_reg(line_no, ops[0]);
+        ins.rb = parse_reg(line_no, ops[1]);
+        break;
+      case Form::kRImm:
+        need(2);
+        ins.ra = parse_reg(line_no, ops[0]);
+        ins.imm = parse_imm(line_no, ops[1]);
+        break;
+      case Form::kLabel:
+        need(1);
+        fixups.push_back({prog.instrs.size(), ops[0], line_no});
+        break;
+      case Form::kReg:
+        need(1);
+        ins.ra = parse_reg(line_no, ops[0]);
+        break;
+      case Form::kNone:
+        need(0);
+        break;
+    }
+    prog.instrs.push_back(ins);
+  }
+
+  for (const PendingFixup& f : fixups) {
+    const auto it = prog.labels.find(f.label);
+    if (it == prog.labels.end()) {
+      throw AsmError(f.line, "undefined label '" + f.label + "'");
+    }
+    prog.instrs[f.instr_index].target = it->second;
+  }
+  return prog;
+}
+
+}  // namespace iss

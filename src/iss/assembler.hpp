@@ -1,0 +1,40 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "iss/isa.hpp"
+
+namespace iss {
+
+/// Error raised on malformed assembly, carrying the 1-based source line.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(std::size_t line, const std::string& message);
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Two-pass text assembler for the orsim ISA.
+///
+/// Syntax (one instruction per line):
+///     # comment until end of line
+///     label:
+///       addi  r3, r3, 1
+///       lw    r4, 8(r2)
+///       sflt  r3, r5
+///       bf    label
+///       halt
+///
+/// Pseudo-instructions:
+///     li  rd, imm32    expands to movhi+ori (or a single addi when imm
+///                      fits in 16 signed bits)
+///     mov rd, ra       ori rd, ra, 0
+///     ret              jr r9
+///
+/// Immediates accept decimal (possibly negative) and 0x-hex forms.
+Program assemble(const std::string& source);
+
+}  // namespace iss

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "iss/isa.hpp"
+
+namespace iss {
+
+/// Per-instruction-class latencies of the modelled pipeline, in cycles.
+/// Defaults approximate a simple in-order embedded RISC (OR1200-like):
+/// single-cycle ALU, 3-cycle multiply, iterative 20-cycle divide, 2-cycle
+/// loads, taken-branch penalty.
+struct CycleModel {
+  std::uint32_t alu = 1;
+  std::uint32_t mul = 3;
+  std::uint32_t div = 20;
+  std::uint32_t load = 2;
+  std::uint32_t store = 2;
+  std::uint32_t compare = 1;
+  std::uint32_t branch_taken = 3;
+  std::uint32_t branch_not_taken = 1;
+  std::uint32_t jump = 2;
+  std::uint32_t nop = 1;
+
+  std::uint32_t cost(InstrClass c, bool taken) const {
+    switch (c) {
+      case InstrClass::kAlu:
+        return alu;
+      case InstrClass::kMul:
+        return mul;
+      case InstrClass::kDiv:
+        return div;
+      case InstrClass::kLoad:
+        return load;
+      case InstrClass::kStore:
+        return store;
+      case InstrClass::kCompare:
+        return compare;
+      case InstrClass::kBranch:
+        return taken ? branch_taken : branch_not_taken;
+      case InstrClass::kJump:
+        return jump;
+      case InstrClass::kNop:
+        return nop;
+      case InstrClass::kCount_:
+        break;
+    }
+    return 1;
+  }
+};
+
+}  // namespace iss

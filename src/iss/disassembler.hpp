@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "iss/isa.hpp"
+
+namespace iss {
+
+/// Renders one decoded instruction in assembler syntax. Control-flow targets
+/// are shown as "L<index>" labels.
+std::string disassemble(const Instr& instr);
+
+/// Renders a whole program, emitting "L<index>:" labels at every control-flow
+/// target (and keeping the program's own named labels as comments). The
+/// output reassembles to an identical instruction stream:
+///     assemble(disassemble(p)).instrs == p.instrs
+std::string disassemble(const Program& program);
+
+}  // namespace iss

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace iss {
+
+/// The orsim instruction set: an OpenRISC-flavoured 32-bit RISC with 32
+/// general-purpose registers (r0 hardwired to zero), a single compare flag
+/// set by the sfXX instructions and consumed by bf/bnf, word/byte memory
+/// accesses and jal/jr linkage through r9.
+///
+/// Software conventions used by all programs in this repository:
+///   r1  stack pointer (grows down)    r9  link register
+///   r3..r8 arguments                  r11 return value
+enum class Opcode : std::uint8_t {
+  // register-register ALU
+  kAdd,
+  kSub,
+  kAnd,
+  kOr,
+  kXor,
+  kSll,
+  kSrl,
+  kSra,
+  kMul,
+  kDiv,
+  // register-immediate ALU
+  kAddi,
+  kAndi,
+  kOri,
+  kXori,
+  kSlli,
+  kSrli,
+  kSrai,
+  kMovhi,  ///< rd = imm << 16
+  // memory
+  kLw,
+  kSw,
+  kLb,
+  kSb,
+  // compare (set flag)
+  kSfeq,
+  kSfne,
+  kSflt,
+  kSfle,
+  kSfgt,
+  kSfge,
+  kSfeqi,
+  kSfnei,
+  kSflti,
+  kSflei,
+  kSfgti,
+  kSfgei,
+  // control
+  kBf,   ///< branch if flag
+  kBnf,  ///< branch if not flag
+  kJ,
+  kJal,  ///< r9 = return address
+  kJr,
+  kNop,
+  kHalt,
+};
+
+const char* to_string(Opcode op);
+
+/// Coarse classes the cycle model prices.
+enum class InstrClass : std::uint8_t {
+  kAlu,
+  kMul,
+  kDiv,
+  kLoad,
+  kStore,
+  kCompare,
+  kBranch,
+  kJump,
+  kNop,
+  kCount_,
+};
+
+InstrClass classify(Opcode op);
+
+/// One decoded instruction. `target` is an instruction index (filled in by
+/// the assembler from a label) for control-flow ops; `imm` is the immediate
+/// or the load/store offset.
+struct Instr {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  std::int32_t imm = 0;
+  std::uint32_t target = 0;
+};
+
+/// An assembled program: decoded instructions plus the label map (label ->
+/// instruction index), useful for setting entry points in tests.
+struct Program {
+  std::vector<Instr> instrs;
+  std::map<std::string, std::uint32_t> labels;
+
+  std::uint32_t label(const std::string& name) const;
+};
+
+}  // namespace iss

@@ -1,0 +1,348 @@
+#include "iss/machine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace iss {
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kSll: return "sll";
+    case Opcode::kSrl: return "srl";
+    case Opcode::kSra: return "sra";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kAndi: return "andi";
+    case Opcode::kOri: return "ori";
+    case Opcode::kXori: return "xori";
+    case Opcode::kSlli: return "slli";
+    case Opcode::kSrli: return "srli";
+    case Opcode::kSrai: return "srai";
+    case Opcode::kMovhi: return "movhi";
+    case Opcode::kLw: return "lw";
+    case Opcode::kSw: return "sw";
+    case Opcode::kLb: return "lb";
+    case Opcode::kSb: return "sb";
+    case Opcode::kSfeq: return "sfeq";
+    case Opcode::kSfne: return "sfne";
+    case Opcode::kSflt: return "sflt";
+    case Opcode::kSfle: return "sfle";
+    case Opcode::kSfgt: return "sfgt";
+    case Opcode::kSfge: return "sfge";
+    case Opcode::kSfeqi: return "sfeqi";
+    case Opcode::kSfnei: return "sfnei";
+    case Opcode::kSflti: return "sflti";
+    case Opcode::kSflei: return "sflei";
+    case Opcode::kSfgti: return "sfgti";
+    case Opcode::kSfgei: return "sfgei";
+    case Opcode::kBf: return "bf";
+    case Opcode::kBnf: return "bnf";
+    case Opcode::kJ: return "j";
+    case Opcode::kJal: return "jal";
+    case Opcode::kJr: return "jr";
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+  }
+  return "?";
+}
+
+InstrClass classify(Opcode op) {
+  switch (op) {
+    case Opcode::kMul:
+      return InstrClass::kMul;
+    case Opcode::kDiv:
+      return InstrClass::kDiv;
+    case Opcode::kLw:
+    case Opcode::kLb:
+      return InstrClass::kLoad;
+    case Opcode::kSw:
+    case Opcode::kSb:
+      return InstrClass::kStore;
+    case Opcode::kSfeq:
+    case Opcode::kSfne:
+    case Opcode::kSflt:
+    case Opcode::kSfle:
+    case Opcode::kSfgt:
+    case Opcode::kSfge:
+    case Opcode::kSfeqi:
+    case Opcode::kSfnei:
+    case Opcode::kSflti:
+    case Opcode::kSflei:
+    case Opcode::kSfgti:
+    case Opcode::kSfgei:
+      return InstrClass::kCompare;
+    case Opcode::kBf:
+    case Opcode::kBnf:
+      return InstrClass::kBranch;
+    case Opcode::kJ:
+    case Opcode::kJal:
+    case Opcode::kJr:
+      return InstrClass::kJump;
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      return InstrClass::kNop;
+    default:
+      return InstrClass::kAlu;
+  }
+}
+
+// ----------------------------------------------------------------- cache ----
+
+DirectMappedCache::DirectMappedCache(Config cfg) : cfg_(cfg) {
+  assert((cfg_.lines & (cfg_.lines - 1)) == 0 && "lines must be a power of 2");
+  assert((cfg_.line_bytes & (cfg_.line_bytes - 1)) == 0);
+  index_mask_ = cfg_.lines - 1;
+  offset_bits_ = 0;
+  for (std::uint32_t b = cfg_.line_bytes; b > 1; b >>= 1) ++offset_bits_;
+  tags_.assign(cfg_.lines, -1);
+}
+
+std::uint32_t DirectMappedCache::access(std::uint32_t addr) {
+  const std::uint32_t block = addr >> offset_bits_;
+  const std::uint32_t index = block & index_mask_;
+  const auto tag = static_cast<std::int64_t>(block >> 0);
+  if (tags_[index] == tag) {
+    ++hits_;
+    return 0;
+  }
+  tags_[index] = tag;
+  ++misses_;
+  return cfg_.miss_penalty;
+}
+
+void DirectMappedCache::reset() {
+  tags_.assign(cfg_.lines, -1);
+  hits_ = 0;
+  misses_ = 0;
+}
+
+// --------------------------------------------------------------- machine ----
+
+Machine::Machine(std::size_t mem_bytes) : mem_(mem_bytes, 0) {}
+
+void Machine::load_program(Program program) {
+  program_ = std::move(program);
+  halt_stub_ = static_cast<std::uint32_t>(program_.instrs.size());
+  program_.instrs.push_back({Opcode::kHalt, 0, 0, 0, 0, 0});
+  pc_ = 0;
+}
+
+void Machine::check_addr(std::uint32_t addr, std::uint32_t bytes) const {
+  if (static_cast<std::size_t>(addr) + bytes > mem_.size()) {
+    throw std::out_of_range("iss: memory access at 0x" +
+                            std::to_string(addr) + " outside memory");
+  }
+}
+
+std::int32_t Machine::read_word(std::uint32_t addr) const {
+  check_addr(addr, 4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | mem_[addr + i];
+  return static_cast<std::int32_t>(v);
+}
+
+void Machine::write_word(std::uint32_t addr, std::int32_t v) {
+  check_addr(addr, 4);
+  auto u = static_cast<std::uint32_t>(v);
+  for (int i = 0; i < 4; ++i) {
+    mem_[addr + i] = static_cast<std::uint8_t>(u & 0xffu);
+    u >>= 8;
+  }
+}
+
+std::int8_t Machine::read_byte(std::uint32_t addr) const {
+  check_addr(addr, 1);
+  return static_cast<std::int8_t>(mem_[addr]);
+}
+
+void Machine::write_byte(std::uint32_t addr, std::int8_t v) {
+  check_addr(addr, 1);
+  mem_[addr] = static_cast<std::uint8_t>(v);
+}
+
+void Machine::reset_stats() {
+  stats_ = ExecStats{};
+  if (icache_) icache_->reset();
+  if (dcache_) dcache_->reset();
+}
+
+Machine::RunResult Machine::run(std::uint64_t max_steps) {
+  return run_from(pc_, max_steps);
+}
+
+Machine::RunResult Machine::run_from(std::uint32_t entry,
+                                     std::uint64_t max_steps) {
+  pc_ = entry;
+  if (regs_[1] == 0) {
+    regs_[1] = static_cast<std::int32_t>(mem_.size() - 16);
+  }
+  RunResult res;
+  const auto n_instrs = static_cast<std::uint32_t>(program_.instrs.size());
+
+  while (res.instructions < max_steps) {
+    if (pc_ >= n_instrs) {
+      throw std::out_of_range("iss: PC " + std::to_string(pc_) +
+                              " outside program");
+    }
+    const Instr& in = program_.instrs[pc_];
+    if (in.op == Opcode::kHalt) {
+      res.halted = true;
+      break;
+    }
+    ++res.instructions;
+    std::uint32_t next = pc_ + 1;
+    bool taken = false;
+
+    auto& r = regs_;
+    const auto u = [&](unsigned i) { return static_cast<std::uint32_t>(r[i]); };
+    switch (in.op) {
+      case Opcode::kAdd: set_reg(in.rd, r[in.ra] + r[in.rb]); break;
+      case Opcode::kSub: set_reg(in.rd, r[in.ra] - r[in.rb]); break;
+      case Opcode::kAnd: set_reg(in.rd, r[in.ra] & r[in.rb]); break;
+      case Opcode::kOr: set_reg(in.rd, r[in.ra] | r[in.rb]); break;
+      case Opcode::kXor: set_reg(in.rd, r[in.ra] ^ r[in.rb]); break;
+      case Opcode::kSll:
+        set_reg(in.rd, static_cast<std::int32_t>(u(in.ra) << (u(in.rb) & 31)));
+        break;
+      case Opcode::kSrl:
+        set_reg(in.rd, static_cast<std::int32_t>(u(in.ra) >> (u(in.rb) & 31)));
+        break;
+      case Opcode::kSra:
+        set_reg(in.rd, r[in.ra] >> (u(in.rb) & 31));
+        break;
+      case Opcode::kMul: set_reg(in.rd, r[in.ra] * r[in.rb]); break;
+      case Opcode::kDiv:
+        // Divide-by-zero yields 0, as on cores that trap-and-fix.
+        set_reg(in.rd, r[in.rb] == 0 ? 0 : r[in.ra] / r[in.rb]);
+        break;
+      case Opcode::kAddi: set_reg(in.rd, r[in.ra] + in.imm); break;
+      case Opcode::kAndi: set_reg(in.rd, r[in.ra] & in.imm); break;
+      case Opcode::kOri: set_reg(in.rd, r[in.ra] | in.imm); break;
+      case Opcode::kXori: set_reg(in.rd, r[in.ra] ^ in.imm); break;
+      case Opcode::kSlli:
+        set_reg(in.rd, static_cast<std::int32_t>(u(in.ra) << (in.imm & 31)));
+        break;
+      case Opcode::kSrli:
+        set_reg(in.rd, static_cast<std::int32_t>(u(in.ra) >> (in.imm & 31)));
+        break;
+      case Opcode::kSrai: set_reg(in.rd, r[in.ra] >> (in.imm & 31)); break;
+      case Opcode::kMovhi:
+        set_reg(in.rd, static_cast<std::int32_t>(
+                           static_cast<std::uint32_t>(in.imm) << 16));
+        break;
+      case Opcode::kLw: {
+        const auto addr = static_cast<std::uint32_t>(r[in.ra] + in.imm);
+        if (dcache_) res.cycles += dcache_->access(addr);
+        set_reg(in.rd, read_word(addr));
+        break;
+      }
+      case Opcode::kSw: {
+        const auto addr = static_cast<std::uint32_t>(r[in.ra] + in.imm);
+        if (dcache_) res.cycles += dcache_->access(addr);
+        write_word(addr, r[in.rd]);
+        break;
+      }
+      case Opcode::kLb: {
+        const auto addr = static_cast<std::uint32_t>(r[in.ra] + in.imm);
+        if (dcache_) res.cycles += dcache_->access(addr);
+        set_reg(in.rd, read_byte(addr));
+        break;
+      }
+      case Opcode::kSb: {
+        const auto addr = static_cast<std::uint32_t>(r[in.ra] + in.imm);
+        if (dcache_) res.cycles += dcache_->access(addr);
+        write_byte(addr, static_cast<std::int8_t>(r[in.rd] & 0xff));
+        break;
+      }
+      case Opcode::kSfeq: flag_ = r[in.ra] == r[in.rb]; break;
+      case Opcode::kSfne: flag_ = r[in.ra] != r[in.rb]; break;
+      case Opcode::kSflt: flag_ = r[in.ra] < r[in.rb]; break;
+      case Opcode::kSfle: flag_ = r[in.ra] <= r[in.rb]; break;
+      case Opcode::kSfgt: flag_ = r[in.ra] > r[in.rb]; break;
+      case Opcode::kSfge: flag_ = r[in.ra] >= r[in.rb]; break;
+      case Opcode::kSfeqi: flag_ = r[in.ra] == in.imm; break;
+      case Opcode::kSfnei: flag_ = r[in.ra] != in.imm; break;
+      case Opcode::kSflti: flag_ = r[in.ra] < in.imm; break;
+      case Opcode::kSflei: flag_ = r[in.ra] <= in.imm; break;
+      case Opcode::kSfgti: flag_ = r[in.ra] > in.imm; break;
+      case Opcode::kSfgei: flag_ = r[in.ra] >= in.imm; break;
+      case Opcode::kBf:
+        taken = flag_;
+        if (taken) next = in.target;
+        break;
+      case Opcode::kBnf:
+        taken = !flag_;
+        if (taken) next = in.target;
+        break;
+      case Opcode::kJ:
+        taken = true;
+        next = in.target;
+        break;
+      case Opcode::kJal:
+        taken = true;
+        set_reg(9, static_cast<std::int32_t>(pc_ + 1));
+        next = in.target;
+        break;
+      case Opcode::kJr:
+        taken = true;
+        next = static_cast<std::uint32_t>(r[in.ra]);
+        break;
+      case Opcode::kNop:
+        break;
+      case Opcode::kHalt:
+        break;  // unreachable (handled above)
+    }
+
+    if (trace_depth_ != 0) {
+      TraceRecord rec{pc_, in, regs_[in.rd], flag_};
+      if (trace_.size() < trace_depth_) {
+        trace_.push_back(rec);
+      } else {
+        trace_[trace_next_] = rec;
+      }
+      trace_next_ = (trace_next_ + 1) % trace_depth_;
+    }
+    const InstrClass cls = classify(in.op);
+    res.cycles += model_.cost(cls, taken);
+    if (icache_) {
+      // Instruction addresses: 4 bytes per instruction, based at 0.
+      res.cycles += icache_->access(pc_ * 4);
+    }
+    ++stats_.per_class[static_cast<std::size_t>(cls)];
+    pc_ = next;
+  }
+
+  stats_.instructions += res.instructions;
+  stats_.cycles += res.cycles;
+  return res;
+}
+
+std::vector<Machine::TraceRecord> Machine::trace_window() const {
+  std::vector<TraceRecord> out;
+  out.reserve(trace_.size());
+  if (trace_.size() < trace_depth_) {
+    out = trace_;  // ring not yet wrapped
+  } else {
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      out.push_back(trace_[(trace_next_ + i) % trace_.size()]);
+    }
+  }
+  return out;
+}
+
+std::int32_t Machine::call(const std::string& fn, std::uint64_t max_steps) {
+  set_reg(9, static_cast<std::int32_t>(halt_stub_));
+  const auto result = run_from(program_.label(fn), max_steps);
+  if (!result.halted) {
+    throw std::runtime_error("iss: call to '" + fn + "' did not halt");
+  }
+  return reg(11);
+}
+
+}  // namespace iss

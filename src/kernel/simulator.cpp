@@ -1,0 +1,394 @@
+#include "kernel/simulator.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+
+namespace minisc {
+
+namespace {
+
+thread_local Simulator* g_current = nullptr;
+
+/// Thrown inside a process's wait to unwind its stack when the simulator is
+/// destroyed while the process is still live (the role of
+/// sc_unwind_exception). Never escapes the trampoline.
+struct KillUnwind {};
+
+}  // namespace
+
+const char* to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::kChannelRead:
+      return "read";
+    case NodeKind::kChannelWrite:
+      return "write";
+    case NodeKind::kTimedWait:
+      return "wait";
+  }
+  return "?";
+}
+
+const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::kFinished:
+      return "finished";
+    case StopReason::kTimeLimit:
+      return "time_limit";
+    case StopReason::kDeadlock:
+      return "deadlock";
+    case StopReason::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- Event ----
+
+Event::Event(std::string name) : name_(std::move(name)) {}
+
+void Event::fire() {
+  auto& sim = Simulator::current();
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (const Waiter& w : waiters) {
+    if (w.proc->state_ == Process::State::kWaiting &&
+        w.proc->wait_id_ == w.wait_id) {
+      sim.make_runnable(*w.proc);
+    }
+  }
+}
+
+void Event::notify() {
+  cancel();
+  fire();
+}
+
+void Event::notify_delta() {
+  if (pending_ == Pending::kDelta) return;
+  if (pending_ == Pending::kTimed) cancel();
+  pending_ = Pending::kDelta;
+  Simulator::current().delta_events_.push_back(this);
+}
+
+void Event::notify(Time t) {
+  if (t.is_zero()) {
+    notify_delta();
+    return;
+  }
+  auto& sim = Simulator::current();
+  const Time at = sim.now() + t;
+  if (pending_ == Pending::kDelta) return;  // delta is always earlier
+  if (pending_ == Pending::kTimed && pending_time_ <= at) return;
+  cancel();
+  pending_ = Pending::kTimed;
+  pending_time_ = at;
+  Simulator::TimerEntry e;
+  e.t = at;
+  e.event = this;
+  e.event_generation = generation_;
+  sim.schedule_timer(e);
+}
+
+void Event::cancel() {
+  // Delta entries are filtered at fire time via the pending_ flag; timed
+  // entries via the generation counter. Either way, bumping the generation
+  // and clearing pending_ invalidates everything in flight.
+  ++generation_;
+  pending_ = Pending::kNone;
+}
+
+// ------------------------------------------------------------ Updatable ----
+
+void Updatable::request_update() {
+  if (update_pending_) return;
+  update_pending_ = true;
+  Simulator::current().update_queue_.push_back(this);
+}
+
+// -------------------------------------------------------------- Process ----
+
+Process::Process(Simulator& sim, std::string name, std::function<void()> body,
+                 std::size_t id, std::size_t stack_bytes)
+    : sim_(sim),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      id_(id),
+      stack_(stack_bytes) {
+  getcontext(&ctx_);
+  ctx_.uc_stack.ss_sp = stack_.data();
+  ctx_.uc_stack.ss_size = stack_.size();
+  ctx_.uc_link = nullptr;  // the trampoline swaps back explicitly
+  const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Process::trampoline), 2,
+              static_cast<unsigned>(ptr >> 32),
+              static_cast<unsigned>(ptr & 0xffffffffu));
+}
+
+void Process::trampoline(unsigned hi, unsigned lo) {
+  const auto ptr = (static_cast<std::uintptr_t>(hi) << 32) |
+                   static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Process*>(ptr)->run_body();
+}
+
+void Process::run_body() {
+  if (KernelHook* h = sim_.hook()) h->process_started(*this);
+  bool clean_exit = false;
+  try {
+    body_();
+    clean_exit = true;
+  } catch (const KillUnwind&) {
+    // Simulator teardown: the stack is now unwound; just terminate.
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  if (clean_exit) {
+    if (KernelHook* h = sim_.hook()) h->process_finished(*this);
+  }
+  state_ = State::kTerminated;
+  // Never returns: a terminated process is never dispatched again.
+  while (true) swapcontext(&ctx_, &sim_.main_ctx_);
+}
+
+// ------------------------------------------------------------ Simulator ----
+
+Simulator::Simulator() {
+  if (g_current != nullptr) {
+    throw std::logic_error("minisc: only one Simulator per thread");
+  }
+  g_current = this;
+}
+
+Simulator::~Simulator() {
+  kill_all_processes();
+  g_current = nullptr;
+}
+
+Simulator& Simulator::current() {
+  assert(g_current != nullptr && "no Simulator exists on this thread");
+  return *g_current;
+}
+
+Simulator* Simulator::current_or_null() { return g_current; }
+
+Process& Simulator::spawn(std::string name, std::function<void()> body,
+                          std::size_t stack_bytes) {
+  processes_.push_back(std::unique_ptr<Process>(
+      new Process(*this, std::move(name), std::move(body), processes_.size(),
+                  stack_bytes)));
+  Process& p = *processes_.back();
+  make_runnable(p);
+  return p;
+}
+
+void Simulator::make_runnable(Process& p) {
+  assert(p.state_ != Process::State::kTerminated);
+  p.state_ = Process::State::kReady;
+  runnable_.push_back(&p);
+}
+
+void Simulator::dispatch(Process& p) {
+  if (p.state_ != Process::State::kReady) return;  // woken twice in one delta
+  p.state_ = Process::State::kRunning;
+  p.started_ = true;
+  ++p.wait_id_;  // invalidate stale timer/event wakeups
+  running_ = &p;
+  if (exec_trace_enabled_) {
+    exec_trace_.push_back({now_, delta_count_, p.name()});
+  }
+  if (hook_ != nullptr) hook_->process_resumed(p);
+  swapcontext(&main_ctx_, &p.ctx_);
+  running_ = nullptr;
+  if (p.error_) {
+    auto err = p.error_;
+    p.error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void Simulator::yield_to_kernel() {
+  Process& p = *running_;
+  swapcontext(&p.ctx_, &main_ctx_);
+  // Resumed. During teardown the kernel resumes us one last time to unwind.
+  if (p.kill_requested_) throw KillUnwind{};
+}
+
+void Simulator::schedule_timer(TimerEntry e) {
+  e.seq = ++timer_seq_;
+  timers_.push(e);
+}
+
+bool Simulator::fire_timer_entry(const TimerEntry& e) {
+  if (e.event != nullptr) {
+    Event& ev = *e.event;
+    if (ev.generation_ != e.event_generation ||
+        ev.pending_ != Event::Pending::kTimed) {
+      return false;  // cancelled or superseded
+    }
+    ev.pending_ = Event::Pending::kNone;
+    ++ev.generation_;
+    ev.fire();
+    return true;
+  }
+  Process& p = *e.proc;
+  if (p.state_ == Process::State::kWaiting && p.wait_id_ == e.proc_wait_id) {
+    make_runnable(p);
+    return true;
+  }
+  return false;
+}
+
+StopReason Simulator::run(Time limit) {
+  stop_requested_ = false;
+  while (true) {
+    // ---- evaluate phase ----
+    while (!runnable_.empty()) {
+      Process* p = runnable_.front();
+      runnable_.pop_front();
+      dispatch(*p);
+    }
+    // ---- update phase ----
+    {
+      auto updates = std::move(update_queue_);
+      update_queue_.clear();
+      for (Updatable* u : updates) {
+        u->update_pending_ = false;
+        u->update();
+      }
+    }
+    // ---- delta-notification phase ----
+    {
+      auto deltas = std::move(delta_events_);
+      delta_events_.clear();
+      for (Event* ev : deltas) {
+        if (ev->pending_ != Event::Pending::kDelta) continue;  // cancelled
+        ev->pending_ = Event::Pending::kNone;
+        ++ev->generation_;
+        ev->fire();
+      }
+    }
+    ++delta_count_;
+    if (!runnable_.empty() || !update_queue_.empty()) continue;
+    if (stop_requested_) return StopReason::kStopped;
+
+    // ---- timed phase ----
+    bool advanced = false;
+    while (!timers_.empty()) {
+      const TimerEntry e = timers_.top();
+      if (e.t > limit) break;
+      timers_.pop();
+      // Peek-fire everything at the earliest valid time point.
+      if (e.event != nullptr &&
+          (e.event->generation_ != e.event_generation ||
+           e.event->pending_ != Event::Pending::kTimed)) {
+        continue;  // stale entry; keep scanning
+      }
+      if (e.proc != nullptr && (e.proc->state_ != Process::State::kWaiting ||
+                                e.proc->wait_id_ != e.proc_wait_id)) {
+        continue;  // stale entry
+      }
+      now_ = e.t;
+      fire_timer_entry(e);
+      advanced = true;
+      // Drain co-scheduled entries at the same instant.
+      while (!timers_.empty() && timers_.top().t == now_) {
+        const TimerEntry e2 = timers_.top();
+        timers_.pop();
+        fire_timer_entry(e2);
+      }
+      break;
+    }
+    if (advanced) continue;
+
+    // Nothing left at or before the horizon.
+    if (!timers_.empty()) {
+      now_ = limit;
+      return StopReason::kTimeLimit;
+    }
+    bool any_live = false;
+    for (const auto& p : processes_) {
+      if (!p->terminated()) any_live = true;
+    }
+    return any_live ? StopReason::kDeadlock : StopReason::kFinished;
+  }
+}
+
+std::vector<std::string> Simulator::blocked_process_names() const {
+  std::vector<std::string> out;
+  for (const auto& p : processes_) {
+    if (!p->terminated()) out.push_back(p->name());
+  }
+  return out;
+}
+
+void Simulator::kill_all_processes() {
+  for (auto& p : processes_) {
+    if (p->started_ && !p->terminated()) {
+      // The process is suspended inside yield_to_kernel(); resuming it with
+      // the kill flag set makes it throw KillUnwind there, unwinding any
+      // user frames (and their destructors) on its coroutine stack.
+      p->kill_requested_ = true;
+      p->state_ = Process::State::kRunning;
+      running_ = p.get();
+      swapcontext(&main_ctx_, &p->ctx_);
+      running_ = nullptr;
+    }
+    // Never-started processes have no frames to unwind.
+  }
+}
+
+void Simulator::raw_wait(Time t) {
+  Process& p = current_process();
+  TimerEntry e;
+  e.t = now_ + t;
+  e.proc = &p;
+  e.proc_wait_id = p.wait_id_;
+  schedule_timer(e);
+  p.state_ = Process::State::kWaiting;
+  yield_to_kernel();
+}
+
+void Simulator::wait_for(Time t) {
+  Process& p = current_process();
+  if (hook_ != nullptr) hook_->node_reached(p, NodeKind::kTimedWait, "wait");
+  raw_wait(t);
+  if (hook_ != nullptr) hook_->node_done(p, NodeKind::kTimedWait, "wait");
+}
+
+void Simulator::wait_on(Event& e) {
+  Process& p = current_process();
+  e.waiters_.push_back({&p, p.wait_id_});
+  p.state_ = Process::State::kWaiting;
+  yield_to_kernel();
+}
+
+bool Simulator::wait_on(Event& e, Time timeout) {
+  Process& p = current_process();
+  e.waiters_.push_back({&p, p.wait_id_});
+  TimerEntry te;
+  te.t = now_ + timeout;
+  te.proc = &p;
+  te.proc_wait_id = p.wait_id_;
+  const Time deadline = te.t;
+  schedule_timer(te);
+  p.state_ = Process::State::kWaiting;
+  yield_to_kernel();
+  // If we woke before the deadline, it was the event.
+  return now_ < deadline;
+}
+
+Process& Simulator::current_process() {
+  assert(running_ != nullptr && "operation requires process context");
+  return *running_;
+}
+
+// ------------------------------------------------------- free functions ----
+
+void wait(Time t) { Simulator::current().wait_for(t); }
+void wait(Event& e) { Simulator::current().wait_on(e); }
+bool wait(Event& e, Time timeout) {
+  return Simulator::current().wait_on(e, timeout);
+}
+Time now() { return Simulator::current().now(); }
+
+}  // namespace minisc

@@ -1,0 +1,254 @@
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "kernel/hooks.hpp"
+#include "kernel/time.hpp"
+
+namespace minisc {
+
+class Simulator;
+class Process;
+
+/// Dynamic-sensitivity notification object (the role of sc_event).
+///
+/// An event has at most one pending (delta or timed) notification; an earlier
+/// notification overrides a later one, and immediate notification overrides
+/// both (SystemC semantics). Processes wait on events dynamically via
+/// minisc::wait(Event&); there are no static sensitivity lists, matching the
+/// specification methodology the estimation library assumes.
+class Event {
+ public:
+  explicit Event(std::string name = "event");
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Immediate notification: waiters become runnable in the current
+  /// evaluation phase. Cancels any pending delta/timed notification.
+  void notify();
+  /// Notification at the end of the current delta cycle.
+  void notify_delta();
+  /// Timed notification after delay `t` (delta notification if t == 0).
+  void notify(Time t);
+  /// Cancels the pending notification, if any.
+  void cancel();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Simulator;
+
+  enum class Pending { kNone, kDelta, kTimed };
+
+  struct Waiter {
+    Process* proc;
+    std::uint64_t wait_id;
+  };
+
+  void fire();
+
+  std::string name_;
+  std::vector<Waiter> waiters_;
+  Pending pending_ = Pending::kNone;
+  Time pending_time_;
+  std::uint64_t generation_ = 0;  ///< invalidates queued timed notifications
+};
+
+/// Base for primitive channels that defer state publication to the update
+/// phase (the role of sc_prim_channel::request_update / update).
+class Updatable {
+ public:
+  virtual ~Updatable() = default;
+
+ protected:
+  /// Schedules update() to run in the current delta's update phase.
+  void request_update();
+  virtual void update() = 0;
+
+ private:
+  friend class Simulator;
+  bool update_pending_ = false;
+};
+
+/// A simulation process: a stackful coroutine executing a user body
+/// (the role of an SC_THREAD). Created via Simulator::spawn().
+class Process {
+ public:
+  const std::string& name() const { return name_; }
+  std::size_t id() const { return id_; }
+  bool terminated() const { return state_ == State::kTerminated; }
+
+  /// Scratch slot for layered libraries (the estimation library stores its
+  /// per-process context here to avoid map lookups on the hot path).
+  void* user_data = nullptr;
+
+ private:
+  friend class Simulator;
+  friend class Event;
+
+  enum class State { kCreated, kReady, kRunning, kWaiting, kTerminated };
+
+  Process(Simulator& sim, std::string name, std::function<void()> body,
+          std::size_t id, std::size_t stack_bytes);
+
+  static void trampoline(unsigned hi, unsigned lo);
+  void run_body();
+
+  Simulator& sim_;
+  std::string name_;
+  std::function<void()> body_;
+  std::size_t id_;
+  std::vector<std::byte> stack_;
+  ucontext_t ctx_{};
+  State state_ = State::kCreated;
+  std::uint64_t wait_id_ = 0;  ///< bumped on every wake; stale wakeups ignored
+  bool started_ = false;       ///< body entered at least once
+  bool kill_requested_ = false;
+  std::exception_ptr error_;
+};
+
+/// Reasons Simulator::run() returns.
+enum class StopReason {
+  kFinished,   ///< every process terminated
+  kTimeLimit,  ///< the supplied horizon was reached
+  kDeadlock,   ///< live processes remain but nothing can ever wake them
+  kStopped,    ///< Simulator::stop() was called from a process
+};
+
+const char* to_string(StopReason r);
+
+/// The discrete-event scheduler (the role of the SystemC kernel).
+///
+/// Executes the classic evaluate / update / delta-notify cycle, then advances
+/// time to the earliest pending timed notification. Exactly one Simulator may
+/// exist per thread at a time; it is reachable via Simulator::current() for
+/// the benefit of channels and the free wait()/now() functions.
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  static Simulator& current();
+  static Simulator* current_or_null();
+
+  /// Creates a process; it becomes runnable in the next evaluation phase
+  /// (immediately, if called from inside a running process).
+  Process& spawn(std::string name, std::function<void()> body,
+                 std::size_t stack_bytes = 256 * 1024);
+
+  /// Runs until every process terminates, `limit` is reached, deadlock, or
+  /// stop(). May be called repeatedly to continue after kTimeLimit.
+  StopReason run(Time limit = Time::max());
+
+  Time now() const { return now_; }
+  std::uint64_t delta_count() const { return delta_count_; }
+
+  /// Requests the current run() to return after the ongoing delta completes.
+  void stop() { stop_requested_ = true; }
+
+  /// Installs the estimation-library callback (single hook; pass nullptr to
+  /// remove). The kernel never times anything itself.
+  void set_hook(KernelHook* hook) { hook_ = hook; }
+  KernelHook* hook() const { return hook_; }
+
+  // ---- process-context operations (free functions forward here) ----
+
+  /// Timed wait WITHOUT hook callbacks. This is the primitive the estimation
+  /// hook itself uses to back-annotate segment delays; user code should call
+  /// minisc::wait(Time) instead, which reports a kTimedWait node.
+  void raw_wait(Time t);
+  /// Hooked timed wait: reports node_reached/node_done around the wait.
+  void wait_for(Time t);
+  /// Blocks until `e` is notified (no hooks; channels use this internally).
+  void wait_on(Event& e);
+  /// Blocks until `e` or the timeout; true if the event fired first.
+  bool wait_on(Event& e, Time timeout);
+
+  /// The process whose body is executing. Asserts if called from outside.
+  Process& current_process();
+  bool in_process_context() const { return running_ != nullptr; }
+
+  /// After run() returned kDeadlock: names of the permanently blocked
+  /// processes.
+  std::vector<std::string> blocked_process_names() const;
+
+  // ---- execution tracing (untimed-vs-timed comparisons, Fig. 5) ----
+
+  struct ExecRecord {
+    Time time;
+    std::uint64_t delta;
+    std::string process;
+  };
+  void enable_exec_trace(bool on) { exec_trace_enabled_ = on; }
+  const std::vector<ExecRecord>& exec_trace() const { return exec_trace_; }
+
+ private:
+  friend class Event;
+  friend class Updatable;
+  friend class Process;
+
+  struct TimerEntry {
+    Time t;
+    std::uint64_t seq;  ///< tie-break: FIFO among equal times
+    // Exactly one of the two targets is set.
+    Event* event = nullptr;
+    std::uint64_t event_generation = 0;
+    Process* proc = nullptr;
+    std::uint64_t proc_wait_id = 0;
+
+    bool operator>(const TimerEntry& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  void make_runnable(Process& p);
+  void dispatch(Process& p);
+  /// Suspends the running process and returns control to the scheduler.
+  void yield_to_kernel();
+  void schedule_timer(TimerEntry e);
+  void kill_all_processes();
+  bool fire_timer_entry(const TimerEntry& e);  ///< true if it woke something
+
+  ucontext_t main_ctx_{};
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::deque<Process*> runnable_;
+  std::vector<Event*> delta_events_;
+  std::vector<Updatable*> update_queue_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                      std::greater<TimerEntry>>
+      timers_;
+  Process* running_ = nullptr;
+  Time now_;
+  std::uint64_t delta_count_ = 0;
+  std::uint64_t timer_seq_ = 0;
+  bool stop_requested_ = false;
+  KernelHook* hook_ = nullptr;
+  bool exec_trace_enabled_ = false;
+  std::vector<ExecRecord> exec_trace_;
+};
+
+// ---- SystemC-style free functions (valid in process context only) ----
+
+/// Timed wait; reports a kTimedWait node to the installed hook. This is the
+/// wait(sc_time) of the specification methodology.
+void wait(Time t);
+/// Dynamic wait on an event (internal-channel use; the methodology forbids
+/// raw events in user processes).
+void wait(Event& e);
+/// Wait with timeout; true if the event fired before the timeout.
+bool wait(Event& e, Time timeout);
+/// Current simulated time.
+Time now();
+
+}  // namespace minisc

@@ -1,0 +1,34 @@
+#include "kernel/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace minisc {
+
+Time Time::from_ns(double v) {
+  if (!(v > 0.0)) return Time::zero();
+  const double ps = v * 1e3;
+  const double max_ps = static_cast<double>(Time::max().to_ps());
+  if (ps >= max_ps) return Time::max();
+  return Time::ps(static_cast<std::uint64_t>(std::llround(ps)));
+}
+
+std::string Time::str() const {
+  struct Unit {
+    const char* name;
+    double div;
+  };
+  static constexpr Unit kUnits[] = {
+      {"s", 1e12}, {"ms", 1e9}, {"us", 1e6}, {"ns", 1e3}, {"ps", 1.0}};
+  const double v = static_cast<double>(ps_);
+  for (const auto& u : kUnits) {
+    if (v >= u.div || u.div == 1.0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g %s", v / u.div, u.name);
+      return buf;
+    }
+  }
+  return "0 ps";
+}
+
+}  // namespace minisc

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace minisc {
+
+/// Simulated time, picosecond resolution (the role of SystemC's sc_time).
+///
+/// Internally a 64-bit unsigned picosecond count, which covers ~213 days of
+/// simulated time — far beyond any experiment in this repository. All
+/// arithmetic saturates at Time::max() rather than wrapping, so "infinitely
+/// far in the future" comparisons stay correct.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time ps(std::uint64_t v) { return Time(v); }
+  static constexpr Time ns(std::uint64_t v) { return Time(v * 1000u); }
+  static constexpr Time us(std::uint64_t v) { return Time(v * 1000u * 1000u); }
+  static constexpr Time ms(std::uint64_t v) {
+    return Time(v * 1000u * 1000u * 1000u);
+  }
+  static constexpr Time sec(std::uint64_t v) {
+    return Time(v * 1000u * 1000u * 1000u * 1000u);
+  }
+
+  /// Nearest-picosecond conversion from a real-valued nanosecond count.
+  /// Negative inputs clamp to zero.
+  static Time from_ns(double v);
+
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time max() {
+    return Time(std::numeric_limits<std::uint64_t>::max());
+  }
+
+  constexpr std::uint64_t to_ps() const { return ps_; }
+  constexpr double to_ns_d() const { return static_cast<double>(ps_) / 1e3; }
+  constexpr double to_us_d() const { return static_cast<double>(ps_) / 1e6; }
+  constexpr double to_ms_d() const { return static_cast<double>(ps_) / 1e9; }
+
+  constexpr bool is_zero() const { return ps_ == 0; }
+
+  friend constexpr auto operator<=>(const Time&, const Time&) = default;
+
+  constexpr Time& operator+=(Time rhs) {
+    ps_ = (ps_ > max().ps_ - rhs.ps_) ? max().ps_ : ps_ + rhs.ps_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) {
+    ps_ = (rhs.ps_ > ps_) ? 0 : ps_ - rhs.ps_;
+    return *this;
+  }
+
+  friend constexpr Time operator+(Time a, Time b) { return a += b; }
+  /// Saturating subtraction: a - b is zero when b > a.
+  friend constexpr Time operator-(Time a, Time b) { return a -= b; }
+
+  friend constexpr Time operator*(Time a, std::uint64_t k) {
+    if (k != 0 && a.ps_ > max().ps_ / k) return max();
+    return Time(a.ps_ * k);
+  }
+
+  /// Human-readable rendering with an auto-selected unit ("12.5 us").
+  std::string str() const;
+
+ private:
+  explicit constexpr Time(std::uint64_t v) : ps_(v) {}
+  std::uint64_t ps_ = 0;
+};
+
+}  // namespace minisc

@@ -1,0 +1,113 @@
+#include "trace/schedulability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sctrace {
+
+namespace {
+
+double deadline_of(const PeriodicTask& t) {
+  return t.deadline > 0.0 ? t.deadline : t.period;
+}
+
+}  // namespace
+
+double utilization(const std::vector<PeriodicTask>& tasks) {
+  double u = 0.0;
+  for (const PeriodicTask& t : tasks) {
+    if (t.period > 0.0) u += t.wcet / t.period;
+  }
+  return u;
+}
+
+double liu_layland_bound(std::size_t n) {
+  if (n == 0) return 1.0;
+  const double nd = static_cast<double>(n);
+  return nd * (std::pow(2.0, 1.0 / nd) - 1.0);
+}
+
+bool rm_utilization_test(const std::vector<PeriodicTask>& tasks) {
+  return utilization(tasks) <= liu_layland_bound(tasks.size()) + 1e-12;
+}
+
+namespace {
+
+std::vector<std::optional<double>> rta_impl(
+    const std::vector<PeriodicTask>& tasks,
+    const std::vector<double>& blocking) {
+  std::vector<std::optional<double>> out(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const PeriodicTask& ti = tasks[i];
+    const double limit = deadline_of(ti);
+    // R = B_i + C_i + sum_{j<i} ceil(R / T_j) * C_j, iterated to fixpoint.
+    double r = ti.wcet + blocking[i];
+    for (int iter = 0; iter < 10000; ++iter) {
+      double interference = 0.0;
+      for (std::size_t j = 0; j < i; ++j) {
+        interference += std::ceil(r / tasks[j].period - 1e-12) * tasks[j].wcet;
+      }
+      const double next = ti.wcet + blocking[i] + interference;
+      if (next > limit + 1e-9) {
+        r = next;
+        break;  // already past the deadline: unschedulable
+      }
+      if (std::abs(next - r) < 1e-9) {
+        r = next;
+        break;
+      }
+      r = next;
+    }
+    out[i] = (r <= limit + 1e-9) ? std::optional<double>(r) : std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::optional<double>> response_time_analysis(
+    const std::vector<PeriodicTask>& tasks) {
+  return rta_impl(tasks, std::vector<double>(tasks.size(), 0.0));
+}
+
+std::vector<std::optional<double>> response_time_analysis_np(
+    const std::vector<PeriodicTask>& tasks) {
+  std::vector<double> blocking(tasks.size(), 0.0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    for (std::size_t j = i + 1; j < tasks.size(); ++j) {
+      blocking[i] = std::max(blocking[i], tasks[j].wcet);
+    }
+  }
+  return rta_impl(tasks, blocking);
+}
+
+std::vector<std::optional<double>> response_time_analysis_np(
+    const std::vector<PeriodicTask>& tasks,
+    const std::vector<double>& blocking) {
+  return rta_impl(tasks, blocking);
+}
+
+bool rta_np_schedulable(const std::vector<PeriodicTask>& tasks) {
+  for (const auto& r : response_time_analysis_np(tasks)) {
+    if (!r.has_value()) return false;
+  }
+  return true;
+}
+
+bool rta_schedulable(const std::vector<PeriodicTask>& tasks) {
+  for (const auto& r : response_time_analysis(tasks)) {
+    if (!r.has_value()) return false;
+  }
+  return true;
+}
+
+std::vector<PeriodicTask> rate_monotonic_order(
+    std::vector<PeriodicTask> tasks) {
+  std::sort(tasks.begin(), tasks.end(),
+            [](const PeriodicTask& a, const PeriodicTask& b) {
+              return a.period < b.period;
+            });
+  return tasks;
+}
+
+}  // namespace sctrace

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace sctrace {
+
+/// A periodic task for fixed-priority schedulability analysis, in the
+/// classic (C, T, D) model. The paper's §6: "Based on the mean execution
+/// times and periods of the different processes, rate analysis and
+/// scheduling for soft, real-time embedded systems can be performed. The
+/// instantaneous execution times for the segments ... can be used for
+/// performance verification and scheduling of hard, real-time systems."
+///
+/// The inputs come straight out of an estimation run: C from a process's
+/// segment statistics (mean for soft real-time, max for hard real-time),
+/// T from the period of a capture point's event list.
+struct PeriodicTask {
+  double wcet = 0.0;      ///< C: execution time per activation
+  double period = 0.0;    ///< T: activation period (same unit as C)
+  double deadline = 0.0;  ///< D: relative deadline; 0 means D = T
+};
+
+/// Total processor utilisation U = sum(C_i / T_i).
+double utilization(const std::vector<PeriodicTask>& tasks);
+
+/// The Liu & Layland rate-monotonic bound n(2^(1/n) - 1): a *sufficient*
+/// schedulability condition for implicit-deadline tasks under RM priorities.
+double liu_layland_bound(std::size_t n);
+
+/// True if utilization(tasks) <= liu_layland_bound(n): the quick sufficient
+/// test for soft real-time rate analysis.
+bool rm_utilization_test(const std::vector<PeriodicTask>& tasks);
+
+/// Exact response-time analysis for fixed priorities (Joseph & Pandya):
+/// tasks are assumed sorted by DECREASING priority (index 0 = highest, the
+/// rate-monotonic order being "sorted by increasing period"). Returns the
+/// worst-case response time of each task, or nullopt for a task whose
+/// recurrence diverges past its deadline (unschedulable).
+std::vector<std::optional<double>> response_time_analysis(
+    const std::vector<PeriodicTask>& tasks);
+
+/// True iff every task's worst-case response time is within its deadline —
+/// the exact (necessary and sufficient) fixed-priority test.
+bool rta_schedulable(const std::vector<PeriodicTask>& tasks);
+
+/// Response-time analysis for NON-PREEMPTIVE fixed priorities (the segment
+/// granularity of this methodology): each task additionally suffers a
+/// blocking term B_i = max C_j over lower-priority tasks j, because a
+/// lower-priority segment that already occupies the processor completes
+/// before a newly released higher-priority one (sufficient bound).
+std::vector<std::optional<double>> response_time_analysis_np(
+    const std::vector<PeriodicTask>& tasks);
+
+/// Variant with explicit blocking terms, for task bodies that are split into
+/// several segments: blocking[i] should be the longest single SEGMENT of any
+/// lower-priority task (inserting yield points shortens exactly this term —
+/// the classic fix for non-preemptive blocking, and a natural operation in
+/// this methodology where every channel access or wait(0) ends a segment).
+std::vector<std::optional<double>> response_time_analysis_np(
+    const std::vector<PeriodicTask>& tasks,
+    const std::vector<double>& blocking);
+
+bool rta_np_schedulable(const std::vector<PeriodicTask>& tasks);
+
+/// Sorts tasks into rate-monotonic priority order (shortest period first).
+std::vector<PeriodicTask> rate_monotonic_order(
+    std::vector<PeriodicTask> tasks);
+
+}  // namespace sctrace

@@ -1,0 +1,58 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sctrace {
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double sq = 0.0;
+  for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+std::vector<double> periods_ns(const std::vector<scperf::CaptureEvent>& ev) {
+  std::vector<double> out;
+  for (std::size_t i = 1; i < ev.size(); ++i) {
+    out.push_back(ev[i].time.to_ns_d() - ev[i - 1].time.to_ns_d());
+  }
+  return out;
+}
+
+std::vector<double> response_times_ns(
+    const std::vector<scperf::CaptureEvent>& requests,
+    const std::vector<scperf::CaptureEvent>& responses) {
+  std::vector<double> out;
+  const std::size_t n = std::min(requests.size(), responses.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(responses[i].time.to_ns_d() - requests[i].time.to_ns_d());
+  }
+  return out;
+}
+
+double throughput_per_sec(const std::vector<scperf::CaptureEvent>& ev) {
+  if (ev.size() < 2) return 0.0;
+  const double span_ns = ev.back().time.to_ns_d() - ev.front().time.to_ns_d();
+  if (span_ns <= 0.0) return 0.0;
+  return static_cast<double>(ev.size() - 1) / (span_ns * 1e-9);
+}
+
+double jitter_ns(const std::vector<scperf::CaptureEvent>& ev) {
+  const auto p = periods_ns(ev);
+  if (p.empty()) return 0.0;
+  const auto [mn, mx] = std::minmax_element(p.begin(), p.end());
+  return *mx - *mn;
+}
+
+}  // namespace sctrace

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "core/capture.hpp"
+
+namespace sctrace {
+
+/// Summary statistics of a sample (times in nanoseconds throughout).
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+Summary summarize(const std::vector<double>& samples);
+
+/// Inter-event times of one capture point's event list, in ns. This is the
+/// sample the paper's rate analysis (§6, "mean execution times and periods")
+/// operates on.
+std::vector<double> periods_ns(const std::vector<scperf::CaptureEvent>& ev);
+
+/// Pairwise response times: latency from the i-th request event to the i-th
+/// response event, in ns. Unmatched tail events are ignored. Negative
+/// latencies (response before request) are kept — they signal a
+/// mis-specified pairing and should be visible, not masked.
+std::vector<double> response_times_ns(
+    const std::vector<scperf::CaptureEvent>& requests,
+    const std::vector<scperf::CaptureEvent>& responses);
+
+/// Events per second over the span from the first to the last event
+/// (0 if fewer than 2 events).
+double throughput_per_sec(const std::vector<scperf::CaptureEvent>& ev);
+
+/// Peak-to-peak period variation (max period - min period), in ns.
+double jitter_ns(const std::vector<scperf::CaptureEvent>& ev);
+
+}  // namespace sctrace

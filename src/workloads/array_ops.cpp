@@ -1,0 +1,120 @@
+#include <cstdint>
+#include <vector>
+
+#include "core/annot.hpp"
+#include "iss/assembler.hpp"
+#include "iss/machine.hpp"
+#include "workloads/data.hpp"
+#include "workloads/table1.hpp"
+
+namespace workloads {
+namespace {
+
+constexpr int kN = 256;
+
+std::vector<std::int32_t> array_a() {
+  return random_vector(kN, 51, -1000, 1000);
+}
+std::vector<std::int32_t> array_b() {
+  return random_vector(kN, 52, 1, 500);
+}
+
+// c[i] = ((a[i]*b[i]) >> 4) + (a[i] - b[i]); checksum = sum(c) with an
+// extra conditional accumulation to exercise data-dependent branches.
+long array_reference() {
+  const auto a = array_a();
+  const auto b = array_b();
+  std::int32_t checksum = 0;
+  for (std::int32_t i = 0; i < kN; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    std::int32_t c = ((a[ui] * b[ui]) >> 4) + (a[ui] - b[ui]);
+    if (c > 0) {
+      checksum = checksum + c;
+    } else {
+      checksum = checksum - c;
+    }
+  }
+  return checksum;
+}
+
+long array_annotated() {
+  const auto av = array_a();
+  const auto bv = array_b();
+  scperf::garray<int> a(av.size());
+  scperf::garray<int> b(bv.size());
+  for (std::size_t k = 0; k < av.size(); ++k) a.at_raw(k).set_raw(av[k]);
+  for (std::size_t k = 0; k < bv.size(); ++k) b.at_raw(k).set_raw(bv[k]);
+
+  scperf::gint checksum = 0;
+  scperf::gint i = 0;
+  while (i < kN) {
+    scperf::gint c = ((a[i] * b[i]) >> 4) + (a[i] - b[i]);
+    if (c > 0) {
+      checksum = checksum + c;
+    } else {
+      checksum = checksum - c;
+    }
+    i = i + 1;
+  }
+  return checksum.value();
+}
+
+// array(r3 = &a, r4 = &b, r5 = n) -> r11
+constexpr const char* kArrayAsm = R"(
+array:
+  li   r11, 0
+  li   r13, 0           # i
+a_loop:
+  sflt r13, r5
+  bnf  a_done
+  slli r14, r13, 2
+  add  r15, r14, r3
+  lw   r16, 0(r15)      # a[i]
+  add  r17, r14, r4
+  lw   r18, 0(r17)      # b[i]
+  mul  r19, r16, r18
+  srai r19, r19, 4
+  sub  r20, r16, r18
+  add  r21, r19, r20    # c
+  sfgti r21, 0
+  bnf  a_neg
+  add  r11, r11, r21
+  j    a_next
+a_neg:
+  sub  r11, r11, r21
+a_next:
+  addi r13, r13, 1
+  j    a_loop
+a_done:
+  ret
+)";
+
+IssResult array_iss_cfg(const IssCacheConfig& cfg) {
+  iss::Machine m;
+  if (cfg.enable_icache) m.enable_icache(cfg.icache);
+  if (cfg.enable_dcache) m.enable_dcache(cfg.dcache);
+  m.load_program(iss::assemble(kArrayAsm));
+  constexpr std::uint32_t kAAddr = 0x1000;
+  constexpr std::uint32_t kBAddr = 0x2000;
+  store_words(m, kAAddr, array_a());
+  store_words(m, kBAddr, array_b());
+  m.set_reg(3, kAAddr);
+  m.set_reg(4, kBAddr);
+  m.set_reg(5, kN);
+  const long checksum = m.call("array");
+  IssResult r{checksum, m.stats().cycles, m.stats().instructions};
+  if (m.icache() != nullptr) r.icache_hit_rate = m.icache()->hit_rate();
+  if (m.dcache() != nullptr) r.dcache_hit_rate = m.dcache()->hit_rate();
+  return r;
+}
+
+IssResult array_iss() { return array_iss_cfg(IssCacheConfig{}); }
+
+}  // namespace
+
+Benchmark make_array() {
+  return {"Array", array_reference, array_annotated, array_iss,
+          array_iss_cfg};
+}
+
+}  // namespace workloads

@@ -1,0 +1,135 @@
+#include <cstdint>
+#include <vector>
+
+#include "core/annot.hpp"
+#include "iss/assembler.hpp"
+#include "iss/machine.hpp"
+#include "workloads/data.hpp"
+#include "workloads/table1.hpp"
+
+namespace workloads {
+namespace {
+
+constexpr int kWords = 1024;
+
+/// Runs of small symbol values, the natural input for run-length encoding.
+std::vector<std::int32_t> compress_input() {
+  Lcg rng(31);
+  std::vector<std::int32_t> v;
+  v.reserve(kWords);
+  while (v.size() < kWords) {
+    const std::int32_t symbol = rng.in_range(0, 7);
+    const std::int32_t run = rng.in_range(1, 12);
+    for (std::int32_t r = 0; r < run && v.size() < kWords; ++r) {
+      v.push_back(symbol);
+    }
+  }
+  return v;
+}
+
+// RLE: emit (symbol, run-length) pairs; checksum folds both streams so a
+// mis-encoded run is caught.
+long compress_reference() {
+  const auto in = compress_input();
+  std::int32_t checksum = 0;
+  std::int32_t pairs = 0;
+  std::int32_t i = 0;
+  while (i < kWords) {
+    const std::int32_t symbol = in[static_cast<std::size_t>(i)];
+    std::int32_t run = 1;
+    while (i + run < kWords &&
+           in[static_cast<std::size_t>(i + run)] == symbol) {
+      run = run + 1;
+    }
+    checksum = checksum + (symbol << 4) + run;
+    pairs = pairs + 1;
+    i = i + run;
+  }
+  return checksum * 100 + pairs;
+}
+
+long compress_annotated() {
+  const auto inv = compress_input();
+  scperf::garray<int> in(inv.size());
+  for (std::size_t k = 0; k < inv.size(); ++k) in.at_raw(k).set_raw(inv[k]);
+
+  scperf::gint checksum = 0;
+  scperf::gint pairs = 0;
+  scperf::gint i = 0;
+  while (i < kWords) {
+    scperf::gint symbol = in[i];
+    scperf::gint run = 1;
+    while ((i + run < kWords) && (in[i + run] == symbol)) {
+      run = run + 1;
+    }
+    checksum = checksum + (symbol << 4) + run;
+    pairs = pairs + 1;
+    i = i + run;
+  }
+  return (checksum * 100 + pairs).value();
+}
+
+// compress(r3 = &in, r4 = n) -> r11 = checksum*100 + pairs
+constexpr const char* kCompressAsm = R"(
+compress:
+  li   r13, 0           # i
+  li   r14, 0           # checksum
+  li   r15, 0           # pairs
+c_outer:
+  sflt r13, r4
+  bnf  c_done
+  slli r16, r13, 2
+  add  r16, r16, r3
+  lw   r17, 0(r16)      # symbol
+  li   r18, 1           # run
+c_run:
+  add  r19, r13, r18
+  sflt r19, r4
+  bnf  c_run_done
+  slli r20, r19, 2
+  add  r20, r20, r3
+  lw   r21, 0(r20)
+  sfeq r21, r17
+  bnf  c_run_done
+  addi r18, r18, 1
+  j    c_run
+c_run_done:
+  slli r22, r17, 4      # symbol * 16
+  add  r22, r22, r18
+  add  r14, r14, r22
+  addi r15, r15, 1
+  add  r13, r13, r18
+  j    c_outer
+c_done:
+  li   r23, 100
+  mul  r11, r14, r23
+  add  r11, r11, r15
+  ret
+)";
+
+IssResult compress_iss_cfg(const IssCacheConfig& cfg) {
+  iss::Machine m;
+  if (cfg.enable_icache) m.enable_icache(cfg.icache);
+  if (cfg.enable_dcache) m.enable_dcache(cfg.dcache);
+  m.load_program(iss::assemble(kCompressAsm));
+  constexpr std::uint32_t kInAddr = 0x1000;
+  store_words(m, kInAddr, compress_input());
+  m.set_reg(3, kInAddr);
+  m.set_reg(4, kWords);
+  const long checksum = m.call("compress");
+  IssResult r{checksum, m.stats().cycles, m.stats().instructions};
+  if (m.icache() != nullptr) r.icache_hit_rate = m.icache()->hit_rate();
+  if (m.dcache() != nullptr) r.dcache_hit_rate = m.dcache()->hit_rate();
+  return r;
+}
+
+IssResult compress_iss() { return compress_iss_cfg(IssCacheConfig{}); }
+
+}  // namespace
+
+Benchmark make_compress() {
+  return {"Compress", compress_reference, compress_annotated, compress_iss,
+          compress_iss_cfg};
+}
+
+}  // namespace workloads

@@ -1,0 +1,29 @@
+#include "workloads/data.hpp"
+
+namespace workloads {
+
+std::vector<std::int32_t> random_vector(std::size_t n, std::uint32_t seed,
+                                        std::int32_t lo, std::int32_t hi) {
+  Lcg rng(seed);
+  std::vector<std::int32_t> v(n);
+  for (auto& x : v) x = rng.in_range(lo, hi);
+  return v;
+}
+
+void store_words(iss::Machine& m, std::uint32_t addr,
+                 const std::vector<std::int32_t>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    m.write_word(addr + static_cast<std::uint32_t>(4 * i), v[i]);
+  }
+}
+
+std::vector<std::int32_t> load_words(const iss::Machine& m,
+                                     std::uint32_t addr, std::size_t n) {
+  std::vector<std::int32_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = m.read_word(addr + static_cast<std::uint32_t>(4 * i));
+  }
+  return v;
+}
+
+}  // namespace workloads

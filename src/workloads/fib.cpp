@@ -1,0 +1,80 @@
+#include <cstdint>
+
+#include "core/annot.hpp"
+#include "iss/assembler.hpp"
+#include "iss/machine.hpp"
+#include "workloads/table1.hpp"
+
+namespace workloads {
+namespace {
+
+// Recursive Fibonacci: deliberately call-heavy, the stress test for the
+// library's function-call weight t_fc (paper Fig. 3's largest single cost).
+constexpr int kFibArg = 18;
+
+std::int32_t fib_ref(std::int32_t n) {
+  if (n <= 1) return n;
+  return fib_ref(n - 1) + fib_ref(n - 2);
+}
+
+long fib_reference() { return fib_ref(kFibArg); }
+
+scperf::gint fib_annot(const scperf::gint& n) {
+  scperf::FuncGuard fg;
+  if (n <= 1) {
+    return n;
+  }
+  return fib_annot(n - 1) + fib_annot(n - 2);
+}
+
+long fib_annotated() {
+  scperf::gint n(scperf::detail::RawTag{}, kFibArg);
+  return fib_annot(n).value();
+}
+
+// fib(r3 = n) -> r11
+constexpr const char* kFibAsm = R"(
+fib:
+  sfgti r3, 1
+  bf   fib_rec
+  mov  r11, r3          # fib(0) = 0, fib(1) = 1
+  ret
+fib_rec:
+  addi r1, r1, -12      # frame: link, n, fib(n-1)
+  sw   r9, 0(r1)
+  sw   r3, 4(r1)
+  addi r3, r3, -1
+  jal  fib
+  sw   r11, 8(r1)
+  lw   r3, 4(r1)
+  addi r3, r3, -2
+  jal  fib
+  lw   r13, 8(r1)
+  add  r11, r11, r13
+  lw   r9, 0(r1)
+  addi r1, r1, 12
+  ret
+)";
+
+IssResult fib_iss_cfg(const IssCacheConfig& cfg) {
+  iss::Machine m;
+  if (cfg.enable_icache) m.enable_icache(cfg.icache);
+  if (cfg.enable_dcache) m.enable_dcache(cfg.dcache);
+  m.load_program(iss::assemble(kFibAsm));
+  m.set_reg(3, kFibArg);
+  const long checksum = m.call("fib");
+  IssResult r{checksum, m.stats().cycles, m.stats().instructions};
+  if (m.icache() != nullptr) r.icache_hit_rate = m.icache()->hit_rate();
+  if (m.dcache() != nullptr) r.dcache_hit_rate = m.dcache()->hit_rate();
+  return r;
+}
+
+IssResult fib_iss() { return fib_iss_cfg(IssCacheConfig{}); }
+
+}  // namespace
+
+Benchmark make_fibonacci() {
+  return {"Fibonacci", fib_reference, fib_annotated, fib_iss, fib_iss_cfg};
+}
+
+}  // namespace workloads

@@ -1,0 +1,131 @@
+#include <cstdint>
+#include <vector>
+
+#include "core/annot.hpp"
+#include "iss/assembler.hpp"
+#include "iss/machine.hpp"
+#include "workloads/data.hpp"
+#include "workloads/table1.hpp"
+
+namespace workloads {
+namespace {
+
+constexpr int kTaps = 16;
+constexpr int kSamples = 256;
+constexpr std::uint32_t kSeedX = 11;
+constexpr std::uint32_t kSeedH = 12;
+
+std::vector<std::int32_t> fir_x() {
+  return random_vector(kSamples + kTaps, kSeedX, -2048, 2047);
+}
+std::vector<std::int32_t> fir_h() {
+  return random_vector(kTaps, kSeedH, -1024, 1023);
+}
+
+long fir_reference() {
+  const auto x = fir_x();
+  const auto h = fir_h();
+  long checksum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    std::int32_t acc = 0;
+    for (int j = 0; j < kTaps; ++j) {
+      acc = acc + x[static_cast<std::size_t>(i + j)] *
+                      h[static_cast<std::size_t>(j)];
+    }
+    acc = acc >> 12;  // Q12 scaling
+    checksum += acc;
+  }
+  return checksum;
+}
+
+long fir_annotated() {
+  const auto xv = fir_x();
+  const auto hv = fir_h();
+  scperf::garray<int> x(xv.size());
+  scperf::garray<int> h(hv.size());
+  for (std::size_t i = 0; i < xv.size(); ++i) x.at_raw(i).set_raw(xv[i]);
+  for (std::size_t i = 0; i < hv.size(); ++i) h.at_raw(i).set_raw(hv[i]);
+
+  scperf::gint checksum = 0;
+  scperf::gint i = 0;
+  while (i < kSamples) {
+    scperf::gint acc = 0;
+    scperf::gint j = 0;
+    while (j < kTaps) {
+      acc = acc + x[i + j] * h[j];
+      j = j + 1;
+    }
+    acc = acc >> 12;
+    checksum = checksum + acc;
+    i = i + 1;
+  }
+  return checksum.value();
+}
+
+// fir(r3 = &x, r4 = &h, r5 = &y, r6 = n, r7 = taps) -> r11 = checksum
+constexpr const char* kFirAsm = R"(
+fir:
+  li   r11, 0            # checksum
+  li   r13, 0            # i
+fir_outer:
+  sflt r13, r6
+  bnf  fir_done
+  li   r14, 0            # acc
+  li   r15, 0            # j
+  slli r16, r13, 2
+  add  r16, r16, r3      # &x[i]
+  mov  r17, r4           # &h[0]
+fir_inner:
+  sflt r15, r7
+  bnf  fir_inner_done
+  lw   r18, 0(r16)
+  lw   r19, 0(r17)
+  mul  r20, r18, r19
+  add  r14, r14, r20
+  addi r16, r16, 4
+  addi r17, r17, 4
+  addi r15, r15, 1
+  j    fir_inner
+fir_inner_done:
+  srai r14, r14, 12
+  slli r20, r13, 2
+  add  r20, r20, r5
+  sw   r14, 0(r20)
+  add  r11, r11, r14
+  addi r13, r13, 1
+  j    fir_outer
+fir_done:
+  ret
+)";
+
+IssResult fir_iss_cfg(const IssCacheConfig& cfg) {
+  iss::Machine m;
+  if (cfg.enable_icache) m.enable_icache(cfg.icache);
+  if (cfg.enable_dcache) m.enable_dcache(cfg.dcache);
+  m.load_program(iss::assemble(kFirAsm));
+  constexpr std::uint32_t kXAddr = 0x1000;
+  constexpr std::uint32_t kHAddr = 0x2000;
+  constexpr std::uint32_t kYAddr = 0x3000;
+  store_words(m, kXAddr, fir_x());
+  store_words(m, kHAddr, fir_h());
+  m.set_reg(3, kXAddr);
+  m.set_reg(4, kHAddr);
+  m.set_reg(5, kYAddr);
+  m.set_reg(6, kSamples);
+  m.set_reg(7, kTaps);
+  const long checksum = m.call("fir");
+  IssResult r{checksum, m.stats().cycles, m.stats().instructions};
+  if (m.icache() != nullptr) r.icache_hit_rate = m.icache()->hit_rate();
+  if (m.dcache() != nullptr) r.dcache_hit_rate = m.dcache()->hit_rate();
+  return r;
+}
+
+IssResult fir_iss() { return fir_iss_cfg(IssCacheConfig{}); }
+
+}  // namespace
+
+Benchmark make_fir() {
+  return {"FIR", fir_reference, fir_annotated, fir_iss, fir_iss_cfg};
+}
+
+}  // namespace workloads

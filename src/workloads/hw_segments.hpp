@@ -1,0 +1,28 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace workloads {
+
+/// A computational segment destined for a HW (parallel) resource, used by the
+/// Table 2 / Table 4 experiments: the estimation library produces its BC/WC
+/// bounds while the behavioural-synthesis substrate schedules the recorded
+/// DFG to obtain the "real" execution time.
+struct HwSegment {
+  std::string name;
+  /// Runs the annotated computation exactly once as a single segment (no
+  /// channel accesses or waits inside); returns a checksum for validation.
+  std::function<long()> body;
+};
+
+/// One 16-tap FIR output sample: 16 multiplies feeding an accumulation tree —
+/// a parallelism-rich DFG where best and worst case differ widely.
+HwSegment fir_hw_segment();
+
+/// Eight steps of an explicit Euler integrator y' = (b - a*y): a serial
+/// dependence chain where best case approaches worst case.
+HwSegment euler_hw_segment();
+
+}  // namespace workloads

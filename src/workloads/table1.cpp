@@ -1,0 +1,13 @@
+#include "workloads/table1.hpp"
+
+namespace workloads {
+
+const std::vector<Benchmark>& table1_suite() {
+  static const std::vector<Benchmark> kSuite = {
+      make_fir(),    make_compress(),  make_quicksort(),
+      make_bubble(), make_fibonacci(), make_array(),
+  };
+  return kSuite;
+}
+
+}  // namespace workloads

@@ -1,0 +1,28 @@
+#include "workloads/vocoder/frames.hpp"
+
+#include <cmath>
+
+#include "workloads/data.hpp"
+#include "workloads/vocoder/kernels.hpp"
+
+namespace workloads::vocoder {
+
+std::vector<std::int32_t> synth_frame(int frame_index) {
+  std::vector<std::int32_t> s(kFrame);
+  Lcg noise(0x9e3779b9u + static_cast<std::uint32_t>(frame_index));
+  const double f1 = 0.02 + 0.002 * (frame_index % 7);   // "pitch"
+  const double f2 = 0.11 + 0.004 * (frame_index % 5);   // "formant"
+  for (int n = 0; n < kFrame; ++n) {
+    const double t = static_cast<double>(frame_index * kFrame + n);
+    const double v = 1200.0 * std::sin(6.283185307179586 * f1 * t) +
+                     500.0 * std::sin(6.283185307179586 * f2 * t);
+    std::int32_t x = static_cast<std::int32_t>(std::lround(v)) +
+                     noise.in_range(-120, 120);
+    if (x > 2047) x = 2047;
+    if (x < -2047) x = -2047;
+    s[static_cast<std::size_t>(n)] = x;
+  }
+  return s;
+}
+
+}  // namespace workloads::vocoder

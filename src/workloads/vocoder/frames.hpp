@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace workloads::vocoder {
+
+/// Deterministic synthetic speech: a mix of two pitched tones with slowly
+/// varying frequency plus pseudo-random noise, Q11 amplitude (|s| <= 2047).
+/// Stands in for the ETSI test sequences (see the substitution note in
+/// kernels.hpp); every form of the codec consumes these identical samples.
+std::vector<std::int32_t> synth_frame(int frame_index);
+
+}  // namespace workloads::vocoder

@@ -1,0 +1,231 @@
+#include "workloads/vocoder/kernels.hpp"
+
+// Annotated kernels: statement-for-statement mirrors of kernels_ref.cpp over
+// scperf types, so the charged operation mix reflects exactly the reference
+// algorithm and the computed values agree bit-for-bit.
+
+namespace workloads::vocoder::annot {
+
+namespace {
+
+/// The weighting impulse response as an annotated ROM (indexing charges the
+/// paper's t[] like any other array access).
+const garray<int>& impulse() {
+  static garray<int>* rom = [] {
+    auto* g = new garray<int>(kImpLen);
+    for (int i = 0; i < kImpLen; ++i) g->at_raw(i).set_raw(kImpulse[i]);
+    return g;
+  }();
+  return *rom;
+}
+
+}  // namespace
+
+void lsp_estimation(const garray<int>& frame, garray<int>& lpc) {
+  garray<int> r(kOrder + 1);
+  gint k = 0;
+  while (k <= kOrder) {
+    gint acc = 0;
+    gint n = k;
+    while (n < kFrame) {
+      acc = acc + (((frame[n] >> 2) * (frame[n - k] >> 2)) >> 6);
+      n = n + 1;
+    }
+    r[k] = acc;
+    k = k + 1;
+  }
+  while (r[0] >= 32768) {
+    gint i = 0;
+    while (i <= kOrder) {
+      r[i] = r[i] >> 1;
+      i = i + 1;
+    }
+  }
+  if (r[0] < 1) r[0] = 1;
+
+  garray<int> a(kOrder + 1);
+  garray<int> tmp(kOrder + 1);
+  a[0] = 4096;
+  gint i = 1;
+  while (i <= kOrder) {
+    a[i] = 0;
+    i = i + 1;
+  }
+  gint err = r[0];
+  i = 1;
+  while (i <= kOrder) {
+    gint acc = r[i];
+    gint j = 1;
+    while (j < i) {
+      acc = acc - ((a[j] * r[i - j]) >> 12);
+      j = j + 1;
+    }
+    if (acc > 32767) acc = 32767;
+    if (acc < -32767) acc = -32767;
+    gint ki = 0 - ((acc << 12) / err);
+    if (ki > 4095) ki = 4095;
+    if (ki < -4095) ki = -4095;
+    j = 1;
+    while (j < i) {
+      gint v = a[j] + ((ki * a[i - j]) >> 12);
+      if (v > 32767) v = 32767;
+      if (v < -32767) v = -32767;
+      tmp[j] = v;
+      j = j + 1;
+    }
+    j = 1;
+    while (j < i) {
+      a[j] = tmp[j];
+      j = j + 1;
+    }
+    a[i] = ki;
+    gint k2 = (ki * ki) >> 12;
+    err = err - ((k2 * err) >> 12);
+    if (err < 1) err = 1;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < kOrder) {
+    lpc[i] = a[i + 1];
+    i = i + 1;
+  }
+}
+
+void lpc_interpolation(const garray<int>& prev, const garray<int>& cur,
+                       garray<int>& subc) {
+  gint s = 0;
+  while (s < kSubframes) {
+    gint i = 0;
+    while (i < kOrder) {
+      subc[s * kOrder + i] = ((3 - s) * prev[i] + (s + 1) * cur[i]) >> 2;
+      i = i + 1;
+    }
+    s = s + 1;
+  }
+}
+
+gint acb_search(const garray<int>& frame, int sub_off, const garray<int>& hist,
+                gint& best_lag) {
+  gint blag = kMinLag;
+  gint bcorr = -1;
+  gint ben = 1;
+  gint lag = kMinLag;
+  while (lag <= kMaxLag) {
+    gint corr = 0;
+    gint en = 1;
+    gint n = 0;
+    while (n < kSub) {
+      gint h = hist[kHist - lag + n];
+      corr = corr + ((frame[sub_off + n] * h) >> 6);
+      en = en + ((h * h) >> 6);
+      n = n + 1;
+    }
+    if (corr > bcorr) {
+      bcorr = corr;
+      ben = en;
+      blag = lag;
+    }
+    lag = lag + 1;
+  }
+  if (bcorr < 0) bcorr = 0;
+  gint gain = (bcorr << 8) / ben;
+  if (gain > 8191) gain = 8191;
+  best_lag = blag;
+  return gain;
+}
+
+void update_history(garray<int>& hist, const garray<int>& frame, int sub_off) {
+  gint i = 0;
+  while (i < kHist - kSub) {
+    hist[i] = hist[i + kSub];
+    i = i + 1;
+  }
+  i = 0;
+  while (i < kSub) {
+    hist[kHist - kSub + i] = frame[sub_off + i];
+    i = i + 1;
+  }
+}
+
+gint icb_search(const garray<int>& frame, int sub_off, garray<int>& pulses,
+                int pulse_off) {
+  gint total = 0;
+  gint t = 0;
+  while (t < kTracks) {
+    gint best_enc = t << 1;
+    gint best_score = -1;
+    gint p = t;
+    while (p < kSub) {
+      gint acc = 0;
+      gint end = p + kImpLen;
+      if (end > kSub) end = kSub;
+      gint n = p;
+      while (n < end) {
+        acc = acc + ((frame[sub_off + n] * impulse()[n - p]) >> 6);
+        n = n + 1;
+      }
+      gint score = acc;
+      if (score < 0) score = 0 - score;
+      if (score > best_score) {
+        best_score = score;
+        best_enc = p << 1;
+        if (acc < 0) best_enc = best_enc | 1;
+      }
+      p = p + kTracks;
+    }
+    pulses[pulse_off + t] = best_enc;
+    total = total + best_score;
+    t = t + 1;
+  }
+  return total;
+}
+
+void build_excitation(const garray<int>& frame, int sub_off, gint gain,
+                      const garray<int>& pulses, int pulse_off,
+                      garray<int>& exc) {
+  gint n = 0;
+  while (n < kSub) {
+    exc[n] = (gain * frame[sub_off + n]) >> 12;
+    n = n + 1;
+  }
+  gint t = 0;
+  while (t < kTracks) {
+    gint enc = pulses[pulse_off + t];
+    gint pos = enc >> 1;
+    if ((enc & 1) != 0) {
+      exc[pos] = exc[pos] - 512;
+    } else {
+      exc[pos] = exc[pos] + 512;
+    }
+    t = t + 1;
+  }
+}
+
+gint postproc(const garray<int>& subc, int subc_off, const garray<int>& exc,
+              garray<int>& mem, garray<int>& out) {
+  gint checksum = 0;
+  gint n = 0;
+  while (n < kSub) {
+    gint acc = exc[n] << 12;
+    gint i = 0;
+    while (i < kOrder) {
+      acc = acc - subc[subc_off + i] * mem[i];
+      i = i + 1;
+    }
+    gint y = acc >> 12;
+    if (y > 4095) y = 4095;
+    if (y < -4096) y = -4096;
+    gint j = kOrder - 1;
+    while (j > 0) {
+      mem[j] = mem[j - 1];
+      j = j - 1;
+    }
+    mem[0] = y;
+    out[n] = y;
+    checksum = checksum + y;
+    n = n + 1;
+  }
+  return checksum;
+}
+
+}  // namespace workloads::vocoder::annot

@@ -1,0 +1,214 @@
+#include "workloads/vocoder/kernels.hpp"
+
+// Reference (plain C++) kernels. Written in deliberately "flat" integer
+// style — while loops, explicit temporaries, explicit clips — so the
+// annotated and assembly forms can mirror them statement for statement.
+
+namespace workloads::vocoder::ref {
+
+void lsp_estimation(const std::int32_t* frame, std::int32_t* lpc) {
+  std::int32_t r[kOrder + 1];
+  std::int32_t k = 0;
+  while (k <= kOrder) {
+    std::int32_t acc = 0;
+    std::int32_t n = k;
+    while (n < kFrame) {
+      acc = acc + (((frame[n] >> 2) * (frame[n - k] >> 2)) >> 6);
+      n = n + 1;
+    }
+    r[k] = acc;
+    k = k + 1;
+  }
+  while (r[0] >= 32768) {
+    std::int32_t i = 0;
+    while (i <= kOrder) {
+      r[i] = r[i] >> 1;
+      i = i + 1;
+    }
+  }
+  if (r[0] < 1) r[0] = 1;
+
+  std::int32_t a[kOrder + 1];
+  std::int32_t tmp[kOrder + 1];
+  a[0] = 4096;
+  std::int32_t i = 1;
+  while (i <= kOrder) {
+    a[i] = 0;
+    i = i + 1;
+  }
+  std::int32_t err = r[0];
+  i = 1;
+  while (i <= kOrder) {
+    std::int32_t acc = r[i];
+    std::int32_t j = 1;
+    while (j < i) {
+      acc = acc - ((a[j] * r[i - j]) >> 12);
+      j = j + 1;
+    }
+    if (acc > 32767) acc = 32767;
+    if (acc < -32767) acc = -32767;
+    std::int32_t ki = 0 - ((acc << 12) / err);
+    if (ki > 4095) ki = 4095;
+    if (ki < -4095) ki = -4095;
+    j = 1;
+    while (j < i) {
+      std::int32_t v = a[j] + ((ki * a[i - j]) >> 12);
+      if (v > 32767) v = 32767;
+      if (v < -32767) v = -32767;
+      tmp[j] = v;
+      j = j + 1;
+    }
+    j = 1;
+    while (j < i) {
+      a[j] = tmp[j];
+      j = j + 1;
+    }
+    a[i] = ki;
+    std::int32_t k2 = (ki * ki) >> 12;
+    err = err - ((k2 * err) >> 12);
+    if (err < 1) err = 1;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < kOrder) {
+    lpc[i] = a[i + 1];
+    i = i + 1;
+  }
+}
+
+void lpc_interpolation(const std::int32_t* prev, const std::int32_t* cur,
+                       std::int32_t* subc) {
+  std::int32_t s = 0;
+  while (s < kSubframes) {
+    std::int32_t i = 0;
+    while (i < kOrder) {
+      subc[s * kOrder + i] = ((3 - s) * prev[i] + (s + 1) * cur[i]) >> 2;
+      i = i + 1;
+    }
+    s = s + 1;
+  }
+}
+
+std::int32_t acb_search(const std::int32_t* sub, const std::int32_t* hist,
+                        std::int32_t* best_lag) {
+  std::int32_t blag = kMinLag;
+  std::int32_t bcorr = -1;
+  std::int32_t ben = 1;
+  std::int32_t lag = kMinLag;
+  while (lag <= kMaxLag) {
+    std::int32_t corr = 0;
+    std::int32_t en = 1;
+    std::int32_t n = 0;
+    while (n < kSub) {
+      std::int32_t h = hist[kHist - lag + n];
+      corr = corr + ((sub[n] * h) >> 6);
+      en = en + ((h * h) >> 6);
+      n = n + 1;
+    }
+    if (corr > bcorr) {
+      bcorr = corr;
+      ben = en;
+      blag = lag;
+    }
+    lag = lag + 1;
+  }
+  if (bcorr < 0) bcorr = 0;
+  std::int32_t gain = (bcorr << 8) / ben;
+  if (gain > 8191) gain = 8191;
+  *best_lag = blag;
+  return gain;
+}
+
+void update_history(std::int32_t* hist, const std::int32_t* sub) {
+  std::int32_t i = 0;
+  while (i < kHist - kSub) {
+    hist[i] = hist[i + kSub];
+    i = i + 1;
+  }
+  i = 0;
+  while (i < kSub) {
+    hist[kHist - kSub + i] = sub[i];
+    i = i + 1;
+  }
+}
+
+std::int32_t icb_search(const std::int32_t* sub, std::int32_t* pulses) {
+  std::int32_t total = 0;
+  std::int32_t t = 0;
+  while (t < kTracks) {
+    std::int32_t best_enc = t << 1;
+    std::int32_t best_score = -1;
+    std::int32_t p = t;
+    while (p < kSub) {
+      std::int32_t acc = 0;
+      std::int32_t end = p + kImpLen;
+      if (end > kSub) end = kSub;
+      std::int32_t n = p;
+      while (n < end) {
+        acc = acc + ((sub[n] * kImpulse[n - p]) >> 6);
+        n = n + 1;
+      }
+      std::int32_t score = acc;
+      if (score < 0) score = 0 - score;
+      if (score > best_score) {
+        best_score = score;
+        best_enc = p << 1;
+        if (acc < 0) best_enc = best_enc | 1;
+      }
+      p = p + kTracks;
+    }
+    pulses[t] = best_enc;
+    total = total + best_score;
+    t = t + 1;
+  }
+  return total;
+}
+
+void build_excitation(const std::int32_t* sub, std::int32_t gain,
+                      const std::int32_t* pulses, std::int32_t* exc) {
+  std::int32_t n = 0;
+  while (n < kSub) {
+    exc[n] = (gain * sub[n]) >> 12;
+    n = n + 1;
+  }
+  std::int32_t t = 0;
+  while (t < kTracks) {
+    std::int32_t enc = pulses[t];
+    std::int32_t pos = enc >> 1;
+    if ((enc & 1) != 0) {
+      exc[pos] = exc[pos] - 512;
+    } else {
+      exc[pos] = exc[pos] + 512;
+    }
+    t = t + 1;
+  }
+}
+
+std::int32_t postproc(const std::int32_t* subc, const std::int32_t* exc,
+                      std::int32_t* mem, std::int32_t* out) {
+  std::int32_t checksum = 0;
+  std::int32_t n = 0;
+  while (n < kSub) {
+    std::int32_t acc = exc[n] << 12;
+    std::int32_t i = 0;
+    while (i < kOrder) {
+      acc = acc - subc[i] * mem[i];
+      i = i + 1;
+    }
+    std::int32_t y = acc >> 12;
+    if (y > 4095) y = 4095;
+    if (y < -4096) y = -4096;
+    std::int32_t j = kOrder - 1;
+    while (j > 0) {
+      mem[j] = mem[j - 1];
+      j = j - 1;
+    }
+    mem[0] = y;
+    out[n] = y;
+    checksum = checksum + y;
+    n = n + 1;
+  }
+  return checksum;
+}
+
+}  // namespace workloads::vocoder::ref

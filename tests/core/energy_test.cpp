@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scperf.hpp"
+
+namespace scperf {
+namespace {
+
+constexpr double kMhz = 100.0;
+
+CostTable add_only_table() {
+  CostTable t;
+  t.set(Op::kAdd, 1.0);
+  return t;
+}
+
+EnergyTable add_energy(double pj_per_add) {
+  EnergyTable t;
+  t.set(Op::kAdd, pj_per_add);
+  return t;
+}
+
+void burn_adds(int n) {
+  gint a(detail::RawTag{}, 0);
+  for (int i = 0; i < n; ++i) {
+    gint r = a + 1;
+    (void)r;
+  }
+}
+
+TEST(Energy, ZeroWithoutEnergyTable) {
+  minisc::Simulator sim;
+  Estimator est(sim);
+  auto& cpu = est.add_sw_resource("cpu", kMhz, add_only_table());
+  est.map("p", cpu);
+  sim.spawn("p", [] { burn_adds(100); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(est.process_energy_pj("p"), 0.0);
+}
+
+TEST(Energy, DotProductOfHistogramAndTable) {
+  minisc::Simulator sim;
+  Estimator est(sim);
+  auto& cpu = est.add_sw_resource("cpu", kMhz, add_only_table());
+  cpu.set_energy_table(add_energy(5.0));
+  est.map("p", cpu);
+  sim.spawn("p", [] { burn_adds(100); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(est.process_energy_pj("p"), 500.0);
+}
+
+TEST(Energy, IndependentOfClockFrequency) {
+  // Energy counts operations, not time: halving the clock must not change it.
+  const auto energy_at = [](double mhz) {
+    minisc::Simulator sim;
+    Estimator est(sim);
+    auto& cpu = est.add_sw_resource("cpu", mhz, add_only_table());
+    cpu.set_energy_table(add_energy(3.0));
+    est.map("p", cpu);
+    sim.spawn("p", [] { burn_adds(64); });
+    sim.run();
+    return est.process_energy_pj("p");
+  };
+  EXPECT_DOUBLE_EQ(energy_at(100.0), energy_at(50.0));
+}
+
+TEST(Energy, AccumulatesAcrossSegments) {
+  minisc::Simulator sim;
+  Estimator est(sim);
+  auto& cpu = est.add_sw_resource("cpu", kMhz, add_only_table());
+  cpu.set_energy_table(add_energy(1.0));
+  est.map("p", cpu);
+  sim.spawn("p", [] {
+    burn_adds(10);
+    minisc::wait(minisc::Time::ns(5));
+    burn_adds(20);
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(est.process_energy_pj("p"), 30.0);
+}
+
+TEST(Energy, ShippedTablesDistinguishSwAndHw) {
+  // The same computation costs far less energy on the dedicated datapath.
+  const auto run_on = [](bool hw) {
+    minisc::Simulator sim;
+    Estimator est(sim);
+    Resource* r;
+    if (hw) {
+      auto& res = est.add_hw_resource("res", kMhz, asic_hw_cost_table());
+      res.set_energy_table(asic_energy_table());
+      r = &res;
+    } else {
+      auto& res = est.add_sw_resource("res", kMhz, orsim_sw_cost_table());
+      res.set_energy_table(orsim_energy_table());
+      r = &res;
+    }
+    est.map("p", *r);
+    sim.spawn("p", [] {
+      garray<int> a(16);
+      for (int i = 0; i < 16; ++i) a.at_raw(static_cast<std::size_t>(i)).set_raw(i);
+      gint acc(detail::RawTag{}, 0);
+      gint i = 0;
+      while (i < 16) {
+        acc = acc + a[i] * 3;
+        i = i + 1;
+      }
+    });
+    sim.run();
+    return est.process_energy_pj("p");
+  };
+  const double sw = run_on(false);
+  const double hw = run_on(true);
+  EXPECT_GT(sw, 0.0);
+  EXPECT_GT(hw, 0.0);
+  EXPECT_GT(sw, 3.0 * hw);
+}
+
+TEST(Energy, ReportShowsEnergyColumnOnlyWhenPresent) {
+  minisc::Simulator sim;
+  Estimator est(sim);
+  auto& cpu = est.add_sw_resource("cpu", kMhz, add_only_table());
+  cpu.set_energy_table(add_energy(1e6));  // 1e6 pJ/add -> easy to spot in uJ
+  est.map("p", cpu);
+  sim.spawn("p", [] { burn_adds(5); });
+  sim.run();
+  std::ostringstream os;
+  est.report().print(os);
+  EXPECT_NE(os.str().find("energy"), std::string::npos);
+  EXPECT_NE(os.str().find("5.00 uJ"), std::string::npos);
+}
+
+TEST(Energy, ReportOmitsColumnWithoutTables) {
+  minisc::Simulator sim;
+  Estimator est(sim);
+  auto& cpu = est.add_sw_resource("cpu", kMhz, add_only_table());
+  est.map("p", cpu);
+  sim.spawn("p", [] { burn_adds(5); });
+  sim.run();
+  std::ostringstream os;
+  est.report().print(os);
+  EXPECT_EQ(os.str().find("energy"), std::string::npos);
+}
+
+TEST(Energy, UnknownProcessIsZero) {
+  minisc::Simulator sim;
+  Estimator est(sim);
+  EXPECT_DOUBLE_EQ(est.process_energy_pj("nobody"), 0.0);
+}
+
+}  // namespace
+}  // namespace scperf

@@ -1,0 +1,180 @@
+#include "core/segment_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace scperf {
+namespace {
+
+// ---- the paper's Figure 1, verbatim structure -------------------------------
+//
+//   N0 void process() { do {
+//        //code of segment S0-1
+//   N1   ch1.read();
+//        if (condition) {
+//          //code of segment S1-2
+//   N2     ch2.write();
+//        }
+//        //code of segment S2-3
+//   N3   wait(delay1);
+//        //code of segment S3-4
+//   N4   ch2.read();
+//      } while (true); }
+//
+// Expected graph (the paper's Figure 2): segments S0-1, S1-2, S1-3, S2-3,
+// S3-4 and the back edge S4-1; no exit node (infinite loop).
+
+constexpr const char* kFigure1 = R"(
+  do {
+    // code of segment S0-1
+    // common code to S0-1 and S4-1
+    ch1.read();
+    // common code to S1-2 and S1-3
+    if (condition) {
+      // code of segment S1-2
+      ch2.write();
+    }
+    // code of segment S2-3
+    wait(delay1);
+    // code of segment S3-4
+    ch2.read();
+  } while (true);
+)";
+
+TEST(SegmentParser, Figure1Nodes) {
+  const ProcessGraph g = parse_process_body(kFigure1);
+  ASSERT_EQ(g.nodes.size(), 5u);  // N0..N4, no exit (infinite loop)
+  EXPECT_EQ(g.nodes[0].kind, GraphNode::Kind::kEntry);
+  EXPECT_EQ(g.node("N1").kind, GraphNode::Kind::kChannelRead);
+  EXPECT_EQ(g.node("N1").channel, "ch1");
+  EXPECT_EQ(g.node("N2").kind, GraphNode::Kind::kChannelWrite);
+  EXPECT_EQ(g.node("N2").channel, "ch2");
+  EXPECT_EQ(g.node("N3").kind, GraphNode::Kind::kTimedWait);
+  EXPECT_EQ(g.node("N4").kind, GraphNode::Kind::kChannelRead);
+  EXPECT_EQ(g.node("N4").channel, "ch2");
+}
+
+TEST(SegmentParser, Figure2Segments) {
+  const ProcessGraph g = parse_process_body(kFigure1);
+  EXPECT_TRUE(g.has_segment("N0", "N1"));  // S0-1
+  EXPECT_TRUE(g.has_segment("N1", "N2"));  // S1-2
+  EXPECT_TRUE(g.has_segment("N1", "N3"));  // S1-3 (if skipped)
+  EXPECT_TRUE(g.has_segment("N2", "N3"));  // S2-3
+  EXPECT_TRUE(g.has_segment("N3", "N4"));  // S3-4
+  EXPECT_TRUE(g.has_segment("N4", "N1"));  // S4-1 (loop back edge)
+  EXPECT_EQ(g.segments.size(), 6u);        // and nothing else
+}
+
+TEST(SegmentParser, SegmentNamesMatchPaperNotation) {
+  const ProcessGraph g = parse_process_body(kFigure1);
+  std::vector<std::string> names;
+  for (const auto& s : g.segments) names.push_back(g.segment_name(s));
+  EXPECT_NE(std::find(names.begin(), names.end(), "S0-1"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "S4-1"), names.end());
+}
+
+// ---- other shapes ------------------------------------------------------------
+
+TEST(SegmentParser, StraightLineGetsExitNode) {
+  const ProcessGraph g = parse_process_body(
+      "in.read();\n"
+      "out.write();\n");
+  ASSERT_EQ(g.nodes.size(), 4u);  // entry, read, write, exit
+  EXPECT_EQ(g.nodes.back().kind, GraphNode::Kind::kExit);
+  EXPECT_TRUE(g.has_segment("N0", "N1"));
+  EXPECT_TRUE(g.has_segment("N1", "N2"));
+  EXPECT_TRUE(g.has_segment("N2", "N3"));
+}
+
+TEST(SegmentParser, IfElseProducesBothBranches) {
+  const ProcessGraph g = parse_process_body(
+      "in.read();\n"
+      "if (c) {\n"
+      "  a.write();\n"
+      "} else {\n"
+      "  b.write();\n"
+      "}\n"
+      "out.write();\n");
+  // N1 in.read, N2 a.write, N3 b.write, N4 out.write
+  EXPECT_TRUE(g.has_segment("N1", "N2"));
+  EXPECT_TRUE(g.has_segment("N1", "N3"));
+  EXPECT_TRUE(g.has_segment("N2", "N4"));
+  EXPECT_TRUE(g.has_segment("N3", "N4"));
+  EXPECT_FALSE(g.has_segment("N1", "N4"));  // no skip edge with an else
+}
+
+TEST(SegmentParser, FiniteWhileLoopHasBackEdgeAndSkip) {
+  const ProcessGraph g = parse_process_body(
+      "while (i < n) {\n"
+      "  ch.read();\n"
+      "}\n"
+      "done.write();\n");
+  // N1 ch.read, N2 done.write (+ exit N3)
+  EXPECT_TRUE(g.has_segment("N0", "N1"));
+  EXPECT_TRUE(g.has_segment("N1", "N1"));  // back edge
+  EXPECT_TRUE(g.has_segment("N0", "N2"));  // zero-iteration skip
+  EXPECT_TRUE(g.has_segment("N1", "N2"));
+}
+
+TEST(SegmentParser, CommentsAndStringsIgnored) {
+  const ProcessGraph g = parse_process_body(
+      "// ch.read();\n"
+      "/* wait(x); */\n"
+      "log(\"ch.read()\");\n"
+      "real.read();\n");
+  ASSERT_EQ(g.nodes.size(), 3u);  // entry, the real read, exit
+  EXPECT_EQ(g.node("N1").channel, "real");
+}
+
+TEST(SegmentParser, WaitInsideForLoop) {
+  const ProcessGraph g = parse_process_body(
+      "for (int i = 0; i < 10; ++i) {\n"
+      "  wait(period);\n"
+      "}\n");
+  EXPECT_EQ(g.node("N1").kind, GraphNode::Kind::kTimedWait);
+  EXPECT_TRUE(g.has_segment("N1", "N1"));  // loop body repeats
+  EXPECT_EQ(g.node("N1").loop_depth, 1);
+}
+
+TEST(SegmentParser, NestedLoopsTrackDepth) {
+  const ProcessGraph g = parse_process_body(
+      "while (a) {\n"
+      "  while (b) {\n"
+      "    ch.read();\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(g.node("N1").loop_depth, 2);
+}
+
+TEST(SegmentParser, LineNumbersRecorded) {
+  const ProcessGraph g = parse_process_body(
+      "\n"
+      "\n"
+      "ch.read();\n");
+  EXPECT_EQ(g.node("N1").line, 3u);
+}
+
+TEST(SegmentParser, EmptyBodyIsEntryToExit) {
+  const ProcessGraph g = parse_process_body("int x = 1;\n");
+  ASSERT_EQ(g.nodes.size(), 2u);
+  EXPECT_TRUE(g.has_segment("N0", "N1"));
+}
+
+TEST(SegmentParser, DotOutputIsWellFormed) {
+  const ProcessGraph g = parse_process_body(kFigure1);
+  std::ostringstream os;
+  g.write_dot(os);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph process {"), std::string::npos);
+  EXPECT_NE(dot.find("N4 -> N1"), std::string::npos);
+  EXPECT_NE(dot.find("S4-1"), std::string::npos);
+}
+
+TEST(SegmentParser, UnknownLabelThrows) {
+  const ProcessGraph g = parse_process_body("ch.read();\n");
+  EXPECT_THROW(g.node("N99"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace scperf

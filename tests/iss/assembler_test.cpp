@@ -1,0 +1,131 @@
+#include "iss/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iss {
+namespace {
+
+TEST(Assembler, ParsesRegisterRegisterOps) {
+  const Program p = assemble("add r3, r4, r5\n");
+  ASSERT_EQ(p.instrs.size(), 1u);
+  EXPECT_EQ(p.instrs[0].op, Opcode::kAdd);
+  EXPECT_EQ(p.instrs[0].rd, 3);
+  EXPECT_EQ(p.instrs[0].ra, 4);
+  EXPECT_EQ(p.instrs[0].rb, 5);
+}
+
+TEST(Assembler, ParsesImmediates) {
+  const Program p = assemble(
+      "addi r3, r0, -42\n"
+      "ori  r4, r0, 0xff\n");
+  EXPECT_EQ(p.instrs[0].imm, -42);
+  EXPECT_EQ(p.instrs[1].imm, 0xff);
+}
+
+TEST(Assembler, ParsesMemoryOperands) {
+  const Program p = assemble(
+      "lw r3, 8(r2)\n"
+      "sw r4, -4(r1)\n"
+      "lw r5, (r2)\n");
+  EXPECT_EQ(p.instrs[0].op, Opcode::kLw);
+  EXPECT_EQ(p.instrs[0].rd, 3);
+  EXPECT_EQ(p.instrs[0].ra, 2);
+  EXPECT_EQ(p.instrs[0].imm, 8);
+  EXPECT_EQ(p.instrs[1].imm, -4);
+  EXPECT_EQ(p.instrs[2].imm, 0);
+}
+
+TEST(Assembler, ResolvesLabelsForwardAndBackward) {
+  const Program p = assemble(
+      "start:\n"
+      "  j end\n"
+      "  j start\n"
+      "end:\n"
+      "  halt\n");
+  EXPECT_EQ(p.label("start"), 0u);
+  EXPECT_EQ(p.label("end"), 2u);
+  EXPECT_EQ(p.instrs[0].target, 2u);
+  EXPECT_EQ(p.instrs[1].target, 0u);
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction) {
+  const Program p = assemble("loop: addi r3, r3, 1\n");
+  EXPECT_EQ(p.label("loop"), 0u);
+  EXPECT_EQ(p.instrs[0].op, Opcode::kAddi);
+}
+
+TEST(Assembler, CommentsIgnored) {
+  const Program p = assemble(
+      "# full line comment\n"
+      "addi r3, r0, 1   # trailing comment\n"
+      "; alt comment style\n");
+  EXPECT_EQ(p.instrs.size(), 1u);
+}
+
+TEST(Assembler, LiPseudoSmallImmediate) {
+  const Program p = assemble("li r3, 100\n");
+  ASSERT_EQ(p.instrs.size(), 1u);
+  EXPECT_EQ(p.instrs[0].op, Opcode::kAddi);
+  EXPECT_EQ(p.instrs[0].imm, 100);
+}
+
+TEST(Assembler, LiPseudoLargeImmediateExpands) {
+  const Program p = assemble("li r3, 0x12345678\n");
+  ASSERT_EQ(p.instrs.size(), 2u);
+  EXPECT_EQ(p.instrs[0].op, Opcode::kMovhi);
+  EXPECT_EQ(p.instrs[0].imm, 0x1234);
+  EXPECT_EQ(p.instrs[1].op, Opcode::kOri);
+  EXPECT_EQ(p.instrs[1].imm, 0x5678);
+}
+
+TEST(Assembler, MovAndRetPseudos) {
+  const Program p = assemble(
+      "mov r4, r5\n"
+      "ret\n");
+  EXPECT_EQ(p.instrs[0].op, Opcode::kOri);
+  EXPECT_EQ(p.instrs[0].rd, 4);
+  EXPECT_EQ(p.instrs[0].ra, 5);
+  EXPECT_EQ(p.instrs[1].op, Opcode::kJr);
+  EXPECT_EQ(p.instrs[1].ra, 9);
+}
+
+TEST(Assembler, CaseInsensitiveMnemonics) {
+  const Program p = assemble("ADDI r3, r0, 1\nAdd r4, r3, r3\n");
+  EXPECT_EQ(p.instrs[0].op, Opcode::kAddi);
+  EXPECT_EQ(p.instrs[1].op, Opcode::kAdd);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nbogus r1, r2\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Assembler, UndefinedLabelRejected) {
+  EXPECT_THROW(assemble("j nowhere\n"), AsmError);
+}
+
+TEST(Assembler, DuplicateLabelRejected) {
+  EXPECT_THROW(assemble("a:\nnop\na:\nnop\n"), AsmError);
+}
+
+TEST(Assembler, BadRegisterRejected) {
+  EXPECT_THROW(assemble("add r3, r44, r5\n"), AsmError);
+  EXPECT_THROW(assemble("add r3, x4, r5\n"), AsmError);
+}
+
+TEST(Assembler, WrongOperandCountRejected) {
+  EXPECT_THROW(assemble("add r3, r4\n"), AsmError);
+  EXPECT_THROW(assemble("nop r1\n"), AsmError);
+}
+
+TEST(Assembler, UnknownLabelLookupThrows) {
+  const Program p = assemble("nop\n");
+  EXPECT_THROW(p.label("missing"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace iss

@@ -1,0 +1,76 @@
+#include "kernel/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minisc {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_EQ(t.to_ps(), 0u);
+}
+
+TEST(Time, UnitConstructors) {
+  EXPECT_EQ(Time::ps(7).to_ps(), 7u);
+  EXPECT_EQ(Time::ns(3).to_ps(), 3000u);
+  EXPECT_EQ(Time::us(2).to_ps(), 2'000'000u);
+  EXPECT_EQ(Time::ms(1).to_ps(), 1'000'000'000u);
+  EXPECT_EQ(Time::sec(1).to_ps(), 1'000'000'000'000u);
+}
+
+TEST(Time, FromNsRounds) {
+  EXPECT_EQ(Time::from_ns(1.0).to_ps(), 1000u);
+  EXPECT_EQ(Time::from_ns(0.0004).to_ps(), 0u);   // rounds to 0 ps
+  EXPECT_EQ(Time::from_ns(0.0006).to_ps(), 1u);   // rounds to 1 ps
+  EXPECT_EQ(Time::from_ns(2.5).to_ps(), 2500u);
+}
+
+TEST(Time, FromNsClampsNegative) {
+  EXPECT_EQ(Time::from_ns(-5.0).to_ps(), 0u);
+}
+
+TEST(Time, FromNsClampsHuge) {
+  EXPECT_EQ(Time::from_ns(1e30), Time::max());
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time::ns(1), Time::ns(2));
+  EXPECT_LE(Time::ns(2), Time::ns(2));
+  EXPECT_GT(Time::us(1), Time::ns(999));
+  EXPECT_EQ(Time::us(1), Time::ns(1000));
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ(Time::ns(1) + Time::ns(2), Time::ns(3));
+  EXPECT_EQ(Time::ns(5) - Time::ns(2), Time::ns(3));
+  EXPECT_EQ(Time::ns(3) * 4, Time::ns(12));
+}
+
+TEST(Time, SubtractionSaturatesAtZero) {
+  EXPECT_EQ(Time::ns(2) - Time::ns(5), Time::zero());
+}
+
+TEST(Time, AdditionSaturatesAtMax) {
+  EXPECT_EQ(Time::max() + Time::ns(1), Time::max());
+}
+
+TEST(Time, MultiplicationSaturatesAtMax) {
+  EXPECT_EQ(Time::sec(1000000) * 1000000, Time::max());
+}
+
+TEST(Time, ConversionsToDouble) {
+  EXPECT_DOUBLE_EQ(Time::ns(1500).to_us_d(), 1.5);
+  EXPECT_DOUBLE_EQ(Time::ps(500).to_ns_d(), 0.5);
+  EXPECT_DOUBLE_EQ(Time::us(2500).to_ms_d(), 2.5);
+}
+
+TEST(Time, StrPicksUnit) {
+  EXPECT_EQ(Time::ns(5).str(), "5 ns");
+  EXPECT_EQ(Time::us(12).str(), "12 us");
+  EXPECT_EQ(Time::ps(3).str(), "3 ps");
+  EXPECT_EQ(Time::zero().str(), "0 ps");
+}
+
+}  // namespace
+}  // namespace minisc

@@ -1,0 +1,157 @@
+#include "trace/schedulability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scperf.hpp"
+
+namespace sctrace {
+namespace {
+
+TEST(Schedulability, UtilizationSums) {
+  const std::vector<PeriodicTask> tasks{{1.0, 4.0}, {2.0, 8.0}};
+  EXPECT_DOUBLE_EQ(utilization(tasks), 0.25 + 0.25);
+}
+
+TEST(Schedulability, LiuLaylandBoundKnownValues) {
+  EXPECT_DOUBLE_EQ(liu_layland_bound(1), 1.0);
+  EXPECT_NEAR(liu_layland_bound(2), 0.828427, 1e-6);
+  EXPECT_NEAR(liu_layland_bound(3), 0.779763, 1e-6);
+  // n -> infinity: ln 2.
+  EXPECT_NEAR(liu_layland_bound(100000), std::log(2.0), 1e-4);
+}
+
+TEST(Schedulability, BoundDecreasesMonotonically) {
+  for (std::size_t n = 1; n < 20; ++n) {
+    EXPECT_GT(liu_layland_bound(n), liu_layland_bound(n + 1));
+  }
+}
+
+TEST(Schedulability, RmTestAcceptsLightLoad) {
+  EXPECT_TRUE(rm_utilization_test({{1.0, 10.0}, {2.0, 20.0}}));  // U = 0.2
+}
+
+TEST(Schedulability, RmTestRejectsOverload) {
+  EXPECT_FALSE(rm_utilization_test({{5.0, 10.0}, {8.0, 20.0}}));  // U = 0.9
+}
+
+TEST(Schedulability, RtaTextbookExample) {
+  // Classic Burns & Wellings example: C = {1,2,3}, T = {4,6,10} (RM order).
+  const std::vector<PeriodicTask> tasks{{1, 4}, {2, 6}, {3, 10}};
+  const auto r = response_time_analysis(tasks);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r[0].value(), 1.0);   // highest priority: just C
+  EXPECT_DOUBLE_EQ(r[1].value(), 3.0);   // 2 + 1 interference
+  EXPECT_DOUBLE_EQ(r[2].value(), 10.0);  // fills the hyperperiod prefix
+  EXPECT_TRUE(rta_schedulable(tasks));
+}
+
+TEST(Schedulability, RtaDetectsMissedDeadline) {
+  // U > 1: the lowest-priority task's recurrence diverges.
+  const std::vector<PeriodicTask> tasks{{3, 4}, {3, 6}};
+  const auto r = response_time_analysis(tasks);
+  EXPECT_TRUE(r[0].has_value());
+  EXPECT_FALSE(r[1].has_value());
+  EXPECT_FALSE(rta_schedulable(tasks));
+}
+
+TEST(Schedulability, RtaBeatsUtilizationBound) {
+  // Harmonic periods: schedulable at U = 1.0 even though the LL bound says
+  // "unknown" — the exact test must accept what the sufficient test cannot.
+  const std::vector<PeriodicTask> tasks{{2, 4}, {2, 8}, {2, 16}, {1, 16}};
+  EXPECT_GT(utilization(tasks), liu_layland_bound(tasks.size()));
+  EXPECT_FALSE(rm_utilization_test(tasks));
+  EXPECT_TRUE(rta_schedulable(tasks));
+}
+
+TEST(Schedulability, ExplicitDeadlineRespected) {
+  // Same task set, but a constrained deadline makes it unschedulable.
+  std::vector<PeriodicTask> tasks{{1, 4}, {2, 6}, {3, 10}};
+  tasks[2].deadline = 5.0;  // RTA gave R = 10 > 5
+  EXPECT_FALSE(rta_schedulable(tasks));
+}
+
+TEST(Schedulability, RateMonotonicOrderSortsByPeriod) {
+  const auto sorted =
+      rate_monotonic_order({{1, 100}, {1, 10}, {1, 50}});
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_DOUBLE_EQ(sorted[0].period, 10.0);
+  EXPECT_DOUBLE_EQ(sorted[1].period, 50.0);
+  EXPECT_DOUBLE_EQ(sorted[2].period, 100.0);
+}
+
+TEST(Schedulability, NonPreemptiveBlockingDelaysHighPriority) {
+  // Preemptive: task 0 has R = C = 1. Non-preemptive: it can be blocked by
+  // the longest lower-priority execution (C = 3).
+  const std::vector<PeriodicTask> tasks{{1, 10}, {2, 20}, {3, 40}};
+  const auto p = response_time_analysis(tasks);
+  const auto np = response_time_analysis_np(tasks);
+  EXPECT_DOUBLE_EQ(p[0].value(), 1.0);
+  EXPECT_DOUBLE_EQ(np[0].value(), 1.0 + 3.0);
+  // The lowest-priority task suffers no blocking.
+  EXPECT_DOUBLE_EQ(np[2].value(), p[2].value());
+}
+
+TEST(Schedulability, NonPreemptiveBlockingCanBreakSchedulability) {
+  // Fits preemptively, but a 5-unit low-priority segment blocks past the
+  // 4-unit deadline of the high-priority task.
+  std::vector<PeriodicTask> tasks{{1, 4}, {5, 100}};
+  EXPECT_TRUE(rta_schedulable(tasks));
+  EXPECT_FALSE(rta_np_schedulable(tasks));
+}
+
+TEST(Schedulability, ExplicitBlockingModelsSegmentSplitting) {
+  // Same task set; splitting the low-priority job into 1-unit segments
+  // restores schedulability (the rt_analysis example's scenario).
+  const std::vector<PeriodicTask> tasks{{1, 4}, {5, 100}};
+  const auto split = response_time_analysis_np(tasks, {1.0, 0.0});
+  EXPECT_TRUE(split[0].has_value());
+  EXPECT_DOUBLE_EQ(split[0].value(), 2.0);
+}
+
+// ---- end-to-end: estimation run feeds the schedulability analysis ----------
+
+TEST(Schedulability, FromEstimationRun) {
+  // Two periodic processes on one CPU; their measured segment statistics
+  // (max cycles) and periods feed the RTA — the §6 workflow.
+  minisc::Simulator sim;
+  scperf::Estimator est(sim);
+  scperf::CostTable t;
+  t.set(scperf::Op::kAdd, 1.0);
+  auto& cpu = est.add_sw_resource("cpu", 100.0, t);
+  est.map("fast", cpu);
+  est.map("slow", cpu);
+
+  const auto task_body = [](int cycles_per_job, minisc::Time period,
+                            int jobs) {
+    for (int j = 0; j < jobs; ++j) {
+      scperf::gint acc(scperf::detail::RawTag{}, 0);
+      for (int i = 0; i < cycles_per_job; ++i) {
+        scperf::gint r = acc + 1;
+        (void)r;
+      }
+      minisc::wait(period);
+    }
+  };
+  sim.spawn("fast", [&] { task_body(100, minisc::Time::us(10), 20); });
+  sim.spawn("slow", [&] { task_body(400, minisc::Time::us(40), 5); });
+  sim.run();
+
+  std::vector<PeriodicTask> tasks;
+  for (const char* name : {"fast", "slow"}) {
+    double max_cycles = 0.0;
+    for (const auto& seg : est.segment_stats(name)) {
+      max_cycles = std::max(max_cycles, seg.cycles_max);
+    }
+    // C in microseconds at 100 MHz; T from the process's design period.
+    tasks.push_back({max_cycles / 100.0,
+                     name == std::string("fast") ? 10.0 : 40.0});
+  }
+  EXPECT_NEAR(tasks[0].wcet, 1.0, 0.1);  // ~100 cycles at 100 MHz
+  EXPECT_NEAR(tasks[1].wcet, 4.0, 0.4);
+  EXPECT_TRUE(rta_schedulable(rate_monotonic_order(tasks)));
+}
+
+}  // namespace
+}  // namespace sctrace

@@ -1,0 +1,91 @@
+#include "trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sctrace {
+namespace {
+
+using minisc::Time;
+using scperf::CaptureEvent;
+
+std::vector<CaptureEvent> events_at_ns(std::initializer_list<double> ts) {
+  std::vector<CaptureEvent> out;
+  for (double t : ts) out.push_back({Time::from_ns(t), 0.0});
+  return out;
+}
+
+TEST(Summarize, EmptySample) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, BasicMoments) {
+  const Summary s = summarize({2.0, 4.0, 6.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+}
+
+TEST(Summarize, SingleSampleHasZeroStddev) {
+  const Summary s = summarize({5.0});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Periods, ComputedBetweenConsecutiveEvents) {
+  const auto p = periods_ns(events_at_ns({10, 25, 45}));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], 15.0);
+  EXPECT_DOUBLE_EQ(p[1], 20.0);
+}
+
+TEST(Periods, FewerThanTwoEventsGivesEmpty) {
+  EXPECT_TRUE(periods_ns(events_at_ns({10})).empty());
+  EXPECT_TRUE(periods_ns({}).empty());
+}
+
+TEST(ResponseTimes, PairwiseLatency) {
+  const auto req = events_at_ns({0, 100, 200});
+  const auto rsp = events_at_ns({30, 150, 280});
+  const auto rt = response_times_ns(req, rsp);
+  ASSERT_EQ(rt.size(), 3u);
+  EXPECT_DOUBLE_EQ(rt[0], 30.0);
+  EXPECT_DOUBLE_EQ(rt[1], 50.0);
+  EXPECT_DOUBLE_EQ(rt[2], 80.0);
+}
+
+TEST(ResponseTimes, UnmatchedTailIgnored) {
+  const auto rt =
+      response_times_ns(events_at_ns({0, 10, 20}), events_at_ns({5}));
+  EXPECT_EQ(rt.size(), 1u);
+}
+
+TEST(ResponseTimes, NegativeLatencyVisible) {
+  // A response recorded before its request signals a broken pairing; the
+  // library must surface it rather than clamp it.
+  const auto rt = response_times_ns(events_at_ns({50}), events_at_ns({20}));
+  ASSERT_EQ(rt.size(), 1u);
+  EXPECT_DOUBLE_EQ(rt[0], -30.0);
+}
+
+TEST(Throughput, EventsPerSecond) {
+  // 4 events spanning 300 ns -> 3 intervals / 300 ns = 10^7 events/s.
+  const double t = throughput_per_sec(events_at_ns({0, 100, 200, 300}));
+  EXPECT_DOUBLE_EQ(t, 1e7);
+}
+
+TEST(Throughput, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(throughput_per_sec({}), 0.0);
+  EXPECT_DOUBLE_EQ(throughput_per_sec(events_at_ns({5})), 0.0);
+  EXPECT_DOUBLE_EQ(throughput_per_sec(events_at_ns({5, 5})), 0.0);
+}
+
+TEST(Jitter, PeakToPeakPeriodVariation) {
+  EXPECT_DOUBLE_EQ(jitter_ns(events_at_ns({0, 10, 30, 40})), 10.0);
+  EXPECT_DOUBLE_EQ(jitter_ns(events_at_ns({0, 10, 20})), 0.0);
+}
+
+}  // namespace
+}  // namespace sctrace

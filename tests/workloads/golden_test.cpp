@@ -1,0 +1,52 @@
+// Golden regression locks: exact checksums and ISS cycle counts for every
+// Table-1 benchmark and the vocoder. These values define the calibration
+// baseline of the shipped cost table — any change to the assembly, the ISS
+// cycle model, or the data generators shows up here first, signalling that
+// the calibration (and EXPERIMENTS.md) must be redone.
+
+#include <gtest/gtest.h>
+
+#include "workloads/table1.hpp"
+#include "workloads/vocoder/pipeline.hpp"
+
+namespace workloads {
+namespace {
+
+struct Golden {
+  const char* name;
+  long checksum;
+  std::uint64_t iss_cycles;
+};
+
+// Values produced by the calibration run recorded in EXPERIMENTS.md.
+constexpr Golden kGolden[] = {
+    {"FIR", -2201, 66568u},
+    {"Compress", 822550, 14246u},
+    {"Quick sort", 88149101, 120559u},
+    {"Bubble", 5338283, 132103u},
+    {"Fibonacci", 2584, 133765u},
+    {"Array", 2179176, 5896u},
+};
+
+TEST(Golden, Table1ChecksumsAndCycles) {
+  const auto& suite = table1_suite();
+  ASSERT_EQ(suite.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].name, kGolden[i].name);
+    EXPECT_EQ(suite[i].reference(), kGolden[i].checksum) << suite[i].name;
+    const IssResult r = suite[i].iss();
+    EXPECT_EQ(r.cycles, kGolden[i].iss_cycles) << suite[i].name;
+  }
+}
+
+TEST(Golden, VocoderChecksum) {
+  EXPECT_EQ(vocoder::run_reference(10), 22072);
+}
+
+TEST(Golden, FibonacciOfEighteen) {
+  // An independent arithmetic fact, not just self-consistency.
+  EXPECT_EQ(table1_suite()[4].reference(), 2584);  // fib(18)
+}
+
+}  // namespace
+}  // namespace workloads

@@ -1,0 +1,89 @@
+#include "workloads/hw_segments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scperf.hpp"
+#include "hls/schedule.hpp"
+
+namespace workloads {
+namespace {
+
+/// Runs a HW segment once on a HW-mapped process, returning (bc, wc, dfg).
+struct HwRun {
+  double bc = 0;
+  double wc = 0;
+  scperf::Dfg dfg;
+  long checksum = 0;
+};
+
+HwRun run_hw(const HwSegment& seg) {
+  HwRun out;
+  minisc::Simulator sim;
+  scperf::Estimator est(sim);
+  auto& hw = est.add_hw_resource("asic", 100.0, scperf::asic_hw_cost_table(),
+                                 {.k = 0.0, .record_dfg = true});
+  est.map(seg.name, hw);
+  sim.spawn(seg.name, [&] { out.checksum = seg.body(); });
+  sim.run();
+  const auto stats = est.segment_stats(seg.name);
+  EXPECT_EQ(stats.size(), 1u);
+  out.bc = stats[0].bc_cycles_sum;
+  out.wc = stats[0].wc_cycles_sum;
+  out.dfg = est.segment_dfg(seg.name, "entry->exit");
+  return out;
+}
+
+TEST(HwSegments, FirHasWideParallelismGap) {
+  const HwRun r = run_hw(fir_hw_segment());
+  EXPECT_GT(r.wc, 0.0);
+  EXPECT_GT(r.bc, 0.0);
+  // 16 independent MACs reduced pairwise: critical path far below the
+  // single-ALU sum.
+  EXPECT_LT(r.bc, 0.5 * r.wc);
+  EXPECT_FALSE(r.dfg.empty());
+}
+
+TEST(HwSegments, EulerIsChainDominated) {
+  const HwRun r = run_hw(euler_hw_segment());
+  EXPECT_GT(r.bc, 0.0);
+  // Serial dependence: best case close to worst case.
+  EXPECT_GT(r.bc, 0.5 * r.wc);
+}
+
+TEST(HwSegments, LibraryBoundsTrackSynthesisWithinTenPercent) {
+  // The core Table 2 property: the library's BC/WC estimates track the
+  // behavioural-synthesis schedule lengths (time-constrained chained ASAP
+  // and single-ALU sequential, both on the control-stripped DFG) within the
+  // paper's HW error band.
+  const hls::FuLibrary lib = hls::default_fu_library();
+  constexpr double kClockNs = 10.0;
+  for (const HwSegment& seg : {fir_hw_segment(), euler_hw_segment()}) {
+    const HwRun r = run_hw(seg);
+    const scperf::Dfg stripped = hls::strip_control(r.dfg);
+    const auto fast = hls::asap_chained(stripped, lib, kClockNs);
+    const auto slow = hls::sequential_schedule(stripped, lib, kClockNs);
+    EXPECT_LE(fast.cycles, slow.cycles) << seg.name;
+    EXPECT_NEAR(r.bc, fast.cycles, 0.10 * fast.cycles) << seg.name;
+    EXPECT_NEAR(r.wc, slow.cycles, 0.10 * slow.cycles) << seg.name;
+  }
+}
+
+TEST(HwSegments, StripControlRemovesOnlyBranchFedComparisons) {
+  const HwRun r = run_hw(fir_hw_segment());
+  const scperf::Dfg stripped = hls::strip_control(r.dfg);
+  EXPECT_LT(stripped.size(), r.dfg.size());
+  for (const auto& nd : stripped.nodes) {
+    EXPECT_NE(nd.op, scperf::Op::kBranch);
+    // Remapped operand indices must stay in range.
+    EXPECT_LE(nd.a, stripped.size());
+    EXPECT_LE(nd.b, stripped.size());
+  }
+}
+
+TEST(HwSegments, ChecksumsAreDeterministic) {
+  EXPECT_EQ(fir_hw_segment().body(), fir_hw_segment().body());
+  EXPECT_EQ(euler_hw_segment().body(), euler_hw_segment().body());
+}
+
+}  // namespace
+}  // namespace workloads

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "core/scperf.hpp"
+#include "workloads/vocoder/frames.hpp"
+#include "workloads/vocoder/kernels.hpp"
+#include "workloads/vocoder/kernels_asm.hpp"
+#include "workloads/vocoder/pipeline.hpp"
+
+namespace workloads::vocoder {
+namespace {
+
+// ---- frame synthesis ---------------------------------------------------------
+
+TEST(Frames, DeterministicAndBounded) {
+  const auto a = synth_frame(5);
+  const auto b = synth_frame(5);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), static_cast<std::size_t>(kFrame));
+  for (std::int32_t s : a) {
+    EXPECT_LE(s, 2047);
+    EXPECT_GE(s, -2047);
+  }
+}
+
+TEST(Frames, DifferentIndicesDiffer) {
+  EXPECT_NE(synth_frame(0), synth_frame(1));
+}
+
+// ---- kernel equivalence: reference vs annotated ------------------------------
+
+TEST(VocoderKernels, LspEstimationRefVsAnnot) {
+  const auto frame = synth_frame(2);
+  std::int32_t lpc_ref[kOrder];
+  ref::lsp_estimation(frame.data(), lpc_ref);
+
+  scperf::garray<int> gframe(kFrame), glpc(kOrder);
+  for (int i = 0; i < kFrame; ++i) {
+    gframe.at_raw(static_cast<std::size_t>(i))
+        .set_raw(frame[static_cast<std::size_t>(i)]);
+  }
+  annot::lsp_estimation(gframe, glpc);
+  for (int i = 0; i < kOrder; ++i) {
+    EXPECT_EQ(glpc.at_raw(static_cast<std::size_t>(i)).value(), lpc_ref[i])
+        << "coefficient " << i;
+  }
+}
+
+TEST(VocoderKernels, LpcCoefficientsBounded) {
+  // The Levinson recursion clips intermediate values; outputs must respect
+  // the documented bound whatever the input frame.
+  for (int f = 0; f < 20; ++f) {
+    const auto frame = synth_frame(f);
+    std::int32_t lpc[kOrder];
+    ref::lsp_estimation(frame.data(), lpc);
+    for (int i = 0; i < kOrder; ++i) {
+      EXPECT_LE(lpc[i], 32767);
+      EXPECT_GE(lpc[i], -32767);
+    }
+  }
+}
+
+TEST(VocoderKernels, AcbSearchStaysInHistoryBounds) {
+  // Regression test for the out-of-bounds lag window: the minimum lag must
+  // keep hist[kHist - lag + n] inside the buffer for all n < kSub.
+  static_assert(kMinLag >= kSub);
+  static_assert(kHist - kMinLag + kSub <= kHist);
+}
+
+TEST(VocoderKernels, AcbGainNonNegativeAndClipped) {
+  std::int32_t hist[kHist];
+  for (int i = 0; i < kHist; ++i) hist[i] = (i * 37) % 4001 - 2000;
+  for (int f = 0; f < 8; ++f) {
+    const auto frame = synth_frame(f);
+    std::int32_t lag = 0;
+    const std::int32_t gain = ref::acb_search(frame.data(), hist, &lag);
+    EXPECT_GE(gain, 0);
+    EXPECT_LE(gain, 8191);
+    EXPECT_GE(lag, kMinLag);
+    EXPECT_LE(lag, kMaxLag);
+  }
+}
+
+TEST(VocoderKernels, IcbPulsesOnDistinctTracks) {
+  const auto frame = synth_frame(4);
+  std::int32_t pulses[kTracks];
+  ref::icb_search(frame.data(), pulses);
+  for (int t = 0; t < kTracks; ++t) {
+    const std::int32_t pos = pulses[t] >> 1;
+    EXPECT_GE(pos, 0);
+    EXPECT_LT(pos, kSub);
+    EXPECT_EQ(pos % kTracks, t) << "pulse " << t << " off its track";
+  }
+}
+
+TEST(VocoderKernels, PostprocOutputClipped) {
+  const auto frame = synth_frame(6);
+  std::int32_t lpc[kOrder];
+  ref::lsp_estimation(frame.data(), lpc);
+  std::int32_t prev[kOrder] = {};
+  std::int32_t subc[kSubframes * kOrder];
+  ref::lpc_interpolation(prev, lpc, subc);
+  std::int32_t exc[kSub];
+  for (int n = 0; n < kSub; ++n) exc[n] = frame[static_cast<std::size_t>(n)];
+  std::int32_t mem[kOrder] = {};
+  std::int32_t out[kSub];
+  (void)ref::postproc(subc, exc, mem, out);
+  for (int n = 0; n < kSub; ++n) {
+    EXPECT_LE(out[n], 4095);
+    EXPECT_GE(out[n], -4096);
+  }
+}
+
+TEST(VocoderKernels, UpdateHistoryShiftsAndAppends) {
+  std::int32_t hist[kHist];
+  for (int i = 0; i < kHist; ++i) hist[i] = i;
+  std::int32_t sub[kSub];
+  for (int i = 0; i < kSub; ++i) sub[i] = 1000 + i;
+  ref::update_history(hist, sub);
+  EXPECT_EQ(hist[0], kSub);           // shifted left by one subframe
+  EXPECT_EQ(hist[kHist - kSub - 1], kHist - 1);
+  EXPECT_EQ(hist[kHist - kSub], 1000);  // appended
+  EXPECT_EQ(hist[kHist - 1], 1000 + kSub - 1);
+}
+
+// ---- full-pipeline agreement across the three forms --------------------------
+
+TEST(VocoderPipeline, ChecksumsAgreeAcrossForms) {
+  constexpr int kFrames = 4;
+  const long ref_checksum = run_reference(kFrames);
+  const IssPipelineResult iss = run_iss(kFrames);
+  const AnnotatedResult ann = run_annotated({.frames = kFrames});
+  EXPECT_EQ(ref_checksum, iss.checksum);
+  EXPECT_EQ(ref_checksum, ann.checksum);
+}
+
+TEST(VocoderPipeline, IssChargesEveryStage) {
+  const IssPipelineResult iss = run_iss(2);
+  EXPECT_GT(iss.cycles.lsp, 0u);
+  EXPECT_GT(iss.cycles.lpc_int, 0u);
+  EXPECT_GT(iss.cycles.acb, 0u);
+  EXPECT_GT(iss.cycles.icb, 0u);
+  EXPECT_GT(iss.cycles.post, 0u);
+}
+
+TEST(VocoderPipeline, LibraryTracksIssPerProcessWithinTenPercent) {
+  // Table 3's accuracy claim at test scale: every process estimate within
+  // 10% of the ISS (the shipped calibration achieves ~5%).
+  constexpr int kFrames = 4;
+  const AnnotatedResult ann = run_annotated({.frames = kFrames});
+  const IssPipelineResult iss = run_iss(kFrames);
+  const std::uint64_t iss_cycles[5] = {iss.cycles.lsp, iss.cycles.lpc_int,
+                                       iss.cycles.acb, iss.cycles.icb,
+                                       iss.cycles.post};
+  for (int p = 0; p < 5; ++p) {
+    const double lib = ann.process_cycles.at(kProcessNames[p]);
+    const double ref = static_cast<double>(iss_cycles[p]);
+    EXPECT_NEAR(lib, ref, 0.10 * ref) << kProcessNames[p];
+  }
+}
+
+TEST(VocoderPipeline, MakespanAtLeastBottleneckProcess) {
+  const AnnotatedResult ann = run_annotated({.frames = 3, .cpu_mhz = 50.0});
+  double total_cycles = 0;
+  for (const auto& [name, cyc] : ann.process_cycles) total_cycles += cyc;
+  // All five share one CPU: the makespan cannot be shorter than the summed
+  // computation time.
+  const double total_ms = total_cycles / 50.0 / 1e6 * 1e3;
+  EXPECT_GE(ann.sim_time.to_ms_d() * 1.0001, total_ms);
+}
+
+TEST(VocoderPipeline, RtosOverheadIncreasesMakespan) {
+  const AnnotatedResult base =
+      run_annotated({.frames = 2, .rtos_cycles_per_switch = 0.0});
+  const AnnotatedResult rtos =
+      run_annotated({.frames = 2, .rtos_cycles_per_switch = 500.0});
+  EXPECT_EQ(base.checksum, rtos.checksum);
+  EXPECT_GT(rtos.sim_time, base.sim_time);
+}
+
+TEST(VocoderPipeline, PostprocOnHwShortensMakespan) {
+  const AnnotatedResult sw = run_annotated({.frames = 3});
+  const AnnotatedResult hw =
+      run_annotated({.frames = 3, .postproc_on_hw = true, .hw_k = 0.0});
+  EXPECT_EQ(sw.checksum, hw.checksum);
+  EXPECT_LT(hw.sim_time, sw.sim_time);
+}
+
+TEST(VocoderIss, StageCyclesAccumulateAcrossFrames) {
+  IssVocoder vc;
+  vc.process_frame(synth_frame(0));
+  const std::uint64_t after_one = vc.cycles().total();
+  vc.process_frame(synth_frame(1));
+  EXPECT_GT(vc.cycles().total(), after_one);
+}
+
+}  // namespace
+}  // namespace workloads::vocoder
