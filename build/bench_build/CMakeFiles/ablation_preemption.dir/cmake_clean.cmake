@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_preemption"
+  "../bench/ablation_preemption.pdb"
+  "CMakeFiles/ablation_preemption.dir/ablation_preemption.cpp.o"
+  "CMakeFiles/ablation_preemption.dir/ablation_preemption.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

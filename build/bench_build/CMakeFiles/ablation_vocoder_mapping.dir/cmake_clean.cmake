@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_vocoder_mapping"
+  "../bench/ablation_vocoder_mapping.pdb"
+  "CMakeFiles/ablation_vocoder_mapping.dir/ablation_vocoder_mapping.cpp.o"
+  "CMakeFiles/ablation_vocoder_mapping.dir/ablation_vocoder_mapping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vocoder_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

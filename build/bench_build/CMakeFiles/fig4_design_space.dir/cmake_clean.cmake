@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_design_space"
+  "../bench/fig4_design_space.pdb"
+  "CMakeFiles/fig4_design_space.dir/fig4_design_space.cpp.o"
+  "CMakeFiles/fig4_design_space.dir/fig4_design_space.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

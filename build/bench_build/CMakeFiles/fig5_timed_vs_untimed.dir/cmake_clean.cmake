@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_timed_vs_untimed"
+  "../bench/fig5_timed_vs_untimed.pdb"
+  "CMakeFiles/fig5_timed_vs_untimed.dir/fig5_timed_vs_untimed.cpp.o"
+  "CMakeFiles/fig5_timed_vs_untimed.dir/fig5_timed_vs_untimed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_timed_vs_untimed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

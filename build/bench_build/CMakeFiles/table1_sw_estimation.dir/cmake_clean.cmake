@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_sw_estimation"
+  "../bench/table1_sw_estimation.pdb"
+  "CMakeFiles/table1_sw_estimation.dir/table1_sw_estimation.cpp.o"
+  "CMakeFiles/table1_sw_estimation.dir/table1_sw_estimation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sw_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

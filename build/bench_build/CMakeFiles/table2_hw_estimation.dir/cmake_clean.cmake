@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_hw_estimation"
+  "../bench/table2_hw_estimation.pdb"
+  "CMakeFiles/table2_hw_estimation.dir/table2_hw_estimation.cpp.o"
+  "CMakeFiles/table2_hw_estimation.dir/table2_hw_estimation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hw_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

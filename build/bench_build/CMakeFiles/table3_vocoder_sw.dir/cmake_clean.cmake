@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_vocoder_sw"
+  "../bench/table3_vocoder_sw.pdb"
+  "CMakeFiles/table3_vocoder_sw.dir/table3_vocoder_sw.cpp.o"
+  "CMakeFiles/table3_vocoder_sw.dir/table3_vocoder_sw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_vocoder_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_vocoder_hw"
+  "../bench/table4_vocoder_hw.pdb"
+  "CMakeFiles/table4_vocoder_hw.dir/table4_vocoder_hw.cpp.o"
+  "CMakeFiles/table4_vocoder_hw.dir/table4_vocoder_hw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_vocoder_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nondeterminism_detector.dir/nondeterminism_detector.cpp.o"
+  "CMakeFiles/nondeterminism_detector.dir/nondeterminism_detector.cpp.o.d"
+  "nondeterminism_detector"
+  "nondeterminism_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nondeterminism_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

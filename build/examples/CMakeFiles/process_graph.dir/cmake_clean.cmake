@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_graph.dir/process_graph.cpp.o"
+  "CMakeFiles/process_graph.dir/process_graph.cpp.o.d"
+  "process_graph"
+  "process_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

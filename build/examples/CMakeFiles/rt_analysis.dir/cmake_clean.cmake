@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_analysis.dir/rt_analysis.cpp.o"
+  "CMakeFiles/rt_analysis.dir/rt_analysis.cpp.o.d"
+  "rt_analysis"
+  "rt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capture.cpp" "src/core/CMakeFiles/scperf_core.dir/capture.cpp.o" "gcc" "src/core/CMakeFiles/scperf_core.dir/capture.cpp.o.d"
+  "/root/repo/src/core/cost_table.cpp" "src/core/CMakeFiles/scperf_core.dir/cost_table.cpp.o" "gcc" "src/core/CMakeFiles/scperf_core.dir/cost_table.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/scperf_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/scperf_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/scperf_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/scperf_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/resource.cpp" "src/core/CMakeFiles/scperf_core.dir/resource.cpp.o" "gcc" "src/core/CMakeFiles/scperf_core.dir/resource.cpp.o.d"
+  "/root/repo/src/core/segment_parser.cpp" "src/core/CMakeFiles/scperf_core.dir/segment_parser.cpp.o" "gcc" "src/core/CMakeFiles/scperf_core.dir/segment_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/minisc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scperf_core.dir/capture.cpp.o"
+  "CMakeFiles/scperf_core.dir/capture.cpp.o.d"
+  "CMakeFiles/scperf_core.dir/cost_table.cpp.o"
+  "CMakeFiles/scperf_core.dir/cost_table.cpp.o.d"
+  "CMakeFiles/scperf_core.dir/estimator.cpp.o"
+  "CMakeFiles/scperf_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/scperf_core.dir/report.cpp.o"
+  "CMakeFiles/scperf_core.dir/report.cpp.o.d"
+  "CMakeFiles/scperf_core.dir/resource.cpp.o"
+  "CMakeFiles/scperf_core.dir/resource.cpp.o.d"
+  "CMakeFiles/scperf_core.dir/segment_parser.cpp.o"
+  "CMakeFiles/scperf_core.dir/segment_parser.cpp.o.d"
+  "libscperf_core.a"
+  "libscperf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scperf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scperf_hls.dir/fu_library.cpp.o"
+  "CMakeFiles/scperf_hls.dir/fu_library.cpp.o.d"
+  "CMakeFiles/scperf_hls.dir/schedule.cpp.o"
+  "CMakeFiles/scperf_hls.dir/schedule.cpp.o.d"
+  "libscperf_hls.a"
+  "libscperf_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scperf_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscperf_hls.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iss/assembler.cpp" "src/iss/CMakeFiles/orsim.dir/assembler.cpp.o" "gcc" "src/iss/CMakeFiles/orsim.dir/assembler.cpp.o.d"
+  "/root/repo/src/iss/disassembler.cpp" "src/iss/CMakeFiles/orsim.dir/disassembler.cpp.o" "gcc" "src/iss/CMakeFiles/orsim.dir/disassembler.cpp.o.d"
+  "/root/repo/src/iss/machine.cpp" "src/iss/CMakeFiles/orsim.dir/machine.cpp.o" "gcc" "src/iss/CMakeFiles/orsim.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

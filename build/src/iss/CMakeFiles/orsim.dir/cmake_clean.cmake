@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orsim.dir/assembler.cpp.o"
+  "CMakeFiles/orsim.dir/assembler.cpp.o.d"
+  "CMakeFiles/orsim.dir/disassembler.cpp.o"
+  "CMakeFiles/orsim.dir/disassembler.cpp.o.d"
+  "CMakeFiles/orsim.dir/machine.cpp.o"
+  "CMakeFiles/orsim.dir/machine.cpp.o.d"
+  "liborsim.a"
+  "liborsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

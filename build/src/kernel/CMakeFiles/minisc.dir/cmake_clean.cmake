@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minisc.dir/simulator.cpp.o"
+  "CMakeFiles/minisc.dir/simulator.cpp.o.d"
+  "CMakeFiles/minisc.dir/time.cpp.o"
+  "CMakeFiles/minisc.dir/time.cpp.o.d"
+  "libminisc.a"
+  "libminisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/schedulability.cpp" "src/trace/CMakeFiles/sctrace.dir/schedulability.cpp.o" "gcc" "src/trace/CMakeFiles/sctrace.dir/schedulability.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/trace/CMakeFiles/sctrace.dir/stats.cpp.o" "gcc" "src/trace/CMakeFiles/sctrace.dir/stats.cpp.o.d"
+  "/root/repo/src/trace/vcd.cpp" "src/trace/CMakeFiles/sctrace.dir/vcd.cpp.o" "gcc" "src/trace/CMakeFiles/sctrace.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/minisc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctrace.dir/schedulability.cpp.o"
+  "CMakeFiles/sctrace.dir/schedulability.cpp.o.d"
+  "CMakeFiles/sctrace.dir/stats.cpp.o"
+  "CMakeFiles/sctrace.dir/stats.cpp.o.d"
+  "CMakeFiles/sctrace.dir/vcd.cpp.o"
+  "CMakeFiles/sctrace.dir/vcd.cpp.o.d"
+  "libsctrace.a"
+  "libsctrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

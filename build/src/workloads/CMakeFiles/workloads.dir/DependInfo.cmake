@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/array_ops.cpp" "src/workloads/CMakeFiles/workloads.dir/array_ops.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/array_ops.cpp.o.d"
+  "/root/repo/src/workloads/compress.cpp" "src/workloads/CMakeFiles/workloads.dir/compress.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/compress.cpp.o.d"
+  "/root/repo/src/workloads/data.cpp" "src/workloads/CMakeFiles/workloads.dir/data.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/data.cpp.o.d"
+  "/root/repo/src/workloads/fib.cpp" "src/workloads/CMakeFiles/workloads.dir/fib.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/fib.cpp.o.d"
+  "/root/repo/src/workloads/fir.cpp" "src/workloads/CMakeFiles/workloads.dir/fir.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/fir.cpp.o.d"
+  "/root/repo/src/workloads/hw_segments.cpp" "src/workloads/CMakeFiles/workloads.dir/hw_segments.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/hw_segments.cpp.o.d"
+  "/root/repo/src/workloads/matrix.cpp" "src/workloads/CMakeFiles/workloads.dir/matrix.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/matrix.cpp.o.d"
+  "/root/repo/src/workloads/sort.cpp" "src/workloads/CMakeFiles/workloads.dir/sort.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/sort.cpp.o.d"
+  "/root/repo/src/workloads/table1.cpp" "src/workloads/CMakeFiles/workloads.dir/table1.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/table1.cpp.o.d"
+  "/root/repo/src/workloads/vocoder/frames.cpp" "src/workloads/CMakeFiles/workloads.dir/vocoder/frames.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/vocoder/frames.cpp.o.d"
+  "/root/repo/src/workloads/vocoder/kernels_annot.cpp" "src/workloads/CMakeFiles/workloads.dir/vocoder/kernels_annot.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/vocoder/kernels_annot.cpp.o.d"
+  "/root/repo/src/workloads/vocoder/kernels_asm.cpp" "src/workloads/CMakeFiles/workloads.dir/vocoder/kernels_asm.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/vocoder/kernels_asm.cpp.o.d"
+  "/root/repo/src/workloads/vocoder/kernels_ref.cpp" "src/workloads/CMakeFiles/workloads.dir/vocoder/kernels_ref.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/vocoder/kernels_ref.cpp.o.d"
+  "/root/repo/src/workloads/vocoder/pipeline.cpp" "src/workloads/CMakeFiles/workloads.dir/vocoder/pipeline.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/vocoder/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/orsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/minisc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

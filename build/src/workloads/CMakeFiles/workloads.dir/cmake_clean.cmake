@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads.dir/array_ops.cpp.o"
+  "CMakeFiles/workloads.dir/array_ops.cpp.o.d"
+  "CMakeFiles/workloads.dir/compress.cpp.o"
+  "CMakeFiles/workloads.dir/compress.cpp.o.d"
+  "CMakeFiles/workloads.dir/data.cpp.o"
+  "CMakeFiles/workloads.dir/data.cpp.o.d"
+  "CMakeFiles/workloads.dir/fib.cpp.o"
+  "CMakeFiles/workloads.dir/fib.cpp.o.d"
+  "CMakeFiles/workloads.dir/fir.cpp.o"
+  "CMakeFiles/workloads.dir/fir.cpp.o.d"
+  "CMakeFiles/workloads.dir/hw_segments.cpp.o"
+  "CMakeFiles/workloads.dir/hw_segments.cpp.o.d"
+  "CMakeFiles/workloads.dir/matrix.cpp.o"
+  "CMakeFiles/workloads.dir/matrix.cpp.o.d"
+  "CMakeFiles/workloads.dir/sort.cpp.o"
+  "CMakeFiles/workloads.dir/sort.cpp.o.d"
+  "CMakeFiles/workloads.dir/table1.cpp.o"
+  "CMakeFiles/workloads.dir/table1.cpp.o.d"
+  "CMakeFiles/workloads.dir/vocoder/frames.cpp.o"
+  "CMakeFiles/workloads.dir/vocoder/frames.cpp.o.d"
+  "CMakeFiles/workloads.dir/vocoder/kernels_annot.cpp.o"
+  "CMakeFiles/workloads.dir/vocoder/kernels_annot.cpp.o.d"
+  "CMakeFiles/workloads.dir/vocoder/kernels_asm.cpp.o"
+  "CMakeFiles/workloads.dir/vocoder/kernels_asm.cpp.o.d"
+  "CMakeFiles/workloads.dir/vocoder/kernels_ref.cpp.o"
+  "CMakeFiles/workloads.dir/vocoder/kernels_ref.cpp.o.d"
+  "CMakeFiles/workloads.dir/vocoder/pipeline.cpp.o"
+  "CMakeFiles/workloads.dir/vocoder/pipeline.cpp.o.d"
+  "libworkloads.a"
+  "libworkloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

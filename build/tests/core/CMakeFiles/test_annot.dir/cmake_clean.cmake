@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_annot.dir/annot_test.cpp.o"
+  "CMakeFiles/test_annot.dir/annot_test.cpp.o.d"
+  "test_annot"
+  "test_annot.pdb"
+  "test_annot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_annot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

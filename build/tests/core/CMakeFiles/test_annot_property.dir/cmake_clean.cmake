@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_annot_property.dir/annot_property_test.cpp.o"
+  "CMakeFiles/test_annot_property.dir/annot_property_test.cpp.o.d"
+  "test_annot_property"
+  "test_annot_property.pdb"
+  "test_annot_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_annot_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redefine_types.dir/redefine_types_test.cpp.o"
+  "CMakeFiles/test_redefine_types.dir/redefine_types_test.cpp.o.d"
+  "test_redefine_types"
+  "test_redefine_types.pdb"
+  "test_redefine_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redefine_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

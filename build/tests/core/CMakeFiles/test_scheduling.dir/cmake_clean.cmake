@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduling.dir/scheduling_test.cpp.o"
+  "CMakeFiles/test_scheduling.dir/scheduling_test.cpp.o.d"
+  "test_scheduling"
+  "test_scheduling.pdb"
+  "test_scheduling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_segment_parser.dir/segment_parser_test.cpp.o"
+  "CMakeFiles/test_segment_parser.dir/segment_parser_test.cpp.o.d"
+  "test_segment_parser"
+  "test_segment_parser.pdb"
+  "test_segment_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_segment_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

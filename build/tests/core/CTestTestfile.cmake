@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/test_annot[1]_include.cmake")
+include("/root/repo/build/tests/core/test_estimator[1]_include.cmake")
+include("/root/repo/build/tests/core/test_capture[1]_include.cmake")
+include("/root/repo/build/tests/core/test_scheduling[1]_include.cmake")
+include("/root/repo/build/tests/core/test_redefine_types[1]_include.cmake")
+include("/root/repo/build/tests/core/test_annot_property[1]_include.cmake")
+include("/root/repo/build/tests/core/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/core/test_segment_parser[1]_include.cmake")
+include("/root/repo/build/tests/core/test_preemptive[1]_include.cmake")

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/iss
+# Build directory: /root/repo/build/tests/iss
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/iss/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/iss/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/iss/test_disassembler[1]_include.cmake")

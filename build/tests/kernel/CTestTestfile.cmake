@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/kernel
+# Build directory: /root/repo/build/tests/kernel
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/kernel/test_time[1]_include.cmake")
+include("/root/repo/build/tests/kernel/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/kernel/test_channels[1]_include.cmake")
+include("/root/repo/build/tests/kernel/test_stress[1]_include.cmake")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/stats_test.cpp" "tests/trace/CMakeFiles/test_stats.dir/stats_test.cpp.o" "gcc" "tests/trace/CMakeFiles/test_stats.dir/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/sctrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/scperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/minisc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

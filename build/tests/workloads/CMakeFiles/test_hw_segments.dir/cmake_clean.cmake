@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_segments.dir/hw_segments_test.cpp.o"
+  "CMakeFiles/test_hw_segments.dir/hw_segments_test.cpp.o.d"
+  "test_hw_segments"
+  "test_hw_segments.pdb"
+  "test_hw_segments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

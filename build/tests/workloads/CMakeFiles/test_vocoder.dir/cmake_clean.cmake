@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vocoder.dir/vocoder_test.cpp.o"
+  "CMakeFiles/test_vocoder.dir/vocoder_test.cpp.o.d"
+  "test_vocoder"
+  "test_vocoder.pdb"
+  "test_vocoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vocoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

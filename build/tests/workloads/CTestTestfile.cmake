@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/workloads
+# Build directory: /root/repo/build/tests/workloads
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/workloads/test_table1[1]_include.cmake")
+include("/root/repo/build/tests/workloads/test_hw_segments[1]_include.cmake")
+include("/root/repo/build/tests/workloads/test_vocoder[1]_include.cmake")
+include("/root/repo/build/tests/workloads/test_golden[1]_include.cmake")
