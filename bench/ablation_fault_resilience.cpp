@@ -1,0 +1,260 @@
+// Resilience ablation: the same 5-stage frame pipeline (vocoder-shaped:
+// source -> 3 processing stages -> sink) is driven through seeded fault
+// campaigns — message loss/duplication/delay on every inter-stage link, CPU
+// outage windows, extra-delay pulses and a mid-run crash+restart of stage2 —
+// under two designs:
+//
+//   non-resilient: one CPU, fixed-iteration stages with blocking reads
+//                  (the textbook KPN coding style). A single dropped frame
+//                  permanently stalls every stage downstream.
+//   resilient:     two CPUs, loss-tolerant stages (Fifo::read_for with a
+//                  timeout + completion flag), so lost frames are skipped
+//                  and the pipeline keeps flowing.
+//
+// Per N-seed campaign the driver reports deadline-miss rate (binomial ci95),
+// makespan and fault-recovery latency distributions, and writes one CSV row
+// per run. A same-seed double run asserts bit-identical capture hashes —
+// the determinism contract that makes campaign results reproducible.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "core/capture.hpp"
+#include "core/scperf.hpp"
+#include "fault/channels.hpp"
+#include "fault/injector.hpp"
+#include "trace/campaign.hpp"
+
+namespace {
+
+using minisc::Time;
+using sctrace::CampaignRunResult;
+
+constexpr int kTokens = 32;
+constexpr double kCpuMhz = 100.0;       // 10 ns / cycle
+constexpr int kStageCycles = 100;       // 1 us of work per stage per frame
+constexpr auto kPeriod = Time::us(10);  // source frame period
+constexpr auto kDeadline = Time::us(60);  // end-to-end budget per frame
+constexpr auto kHorizon = Time::ms(2);
+constexpr auto kStageTimeout = Time::us(30);  // resilient read_for budget
+
+scperf::CostTable add_only_table() {
+  scperf::CostTable t;
+  t.set(scperf::Op::kAdd, 1.0);
+  return t;
+}
+
+void burn(int n) {
+  scperf::gint a(scperf::detail::RawTag{}, 0);
+  for (int i = 0; i < n; ++i) {
+    scperf::gint r = a + 1;
+    (void)r;
+  }
+}
+
+struct Token {
+  int id = 0;
+  Time born;
+};
+
+scfault::ScenarioConfig fault_model() {
+  scfault::ScenarioConfig cfg;
+  cfg.horizon = Time::us(300);  // faults strike while frames are in flight
+  // Lossy inter-stage links: 5% drop, 2% duplicate, 10% delayed 1-5 us.
+  cfg.channel_faults.push_back(
+      {"*", 0.05, 0.02, 0.10, Time::us(1), Time::us(5)});
+  // Transient slowdowns and one outage window on the primary CPU.
+  cfg.pulses.push_back({"cpu0", 4, 500.0, 2000.0});
+  cfg.outages.push_back({"cpu0", 1, Time::us(20), Time::us(50)});
+  // Stage2 crashes mid-run and is respawned 5 us later. Restart alone is
+  // not resilience: the non-resilient stage re-enters its fixed-count read
+  // loop and starves on the frames lost while it was down.
+  cfg.crashes.push_back({"stage2", Time::us(120), Time::us(5)});
+  return cfg;
+}
+
+CampaignRunResult run_pipeline(std::uint64_t seed, bool resilient) {
+  scfault::FaultScenario scenario(fault_model(), seed);
+
+  minisc::Simulator sim;
+  minisc::Watchdog wd;
+  wd.max_deltas_per_instant = 100000;
+  wd.wall_clock_ms = 30000;
+  sim.set_watchdog(wd);
+
+  scperf::Estimator est(sim);
+  auto& cpu0 = est.add_sw_resource("cpu0", kCpuMhz, add_only_table(),
+                                   {.rtos_cycles_per_switch = 20});
+  scperf::SwResource* cpu1 = &cpu0;
+  if (resilient) {
+    cpu1 = &est.add_sw_resource("cpu1", kCpuMhz, add_only_table(),
+                                {.rtos_cycles_per_switch = 20});
+  }
+  est.map("source", cpu0);
+  est.map("stage1", cpu0);
+  est.map("stage2", cpu0);
+  est.map("stage3", *cpu1);
+  est.map("sink", *cpu1);
+
+  scfault::FaultInjector inj(sim, est, scenario);
+
+  scfault::FaultyFifo<Token> ch0("ch0", 64), ch1("ch1", 64), ch2("ch2", 64),
+      ch3("ch3", 64);
+  for (auto* ch : {&ch0, &ch1, &ch2, &ch3}) ch->attach(scenario);
+
+  scperf::CaptureRegistry reg;
+  scperf::CapturePoint delivered("delivered", reg);
+  struct Arrival {
+    Time born;
+    Time at;
+  };
+  std::map<int, Arrival> arrival;  // first arrival per frame id
+  std::vector<Time> arrival_order;
+  bool source_done = false;
+
+  sim.spawn("source", [&] {
+    for (int id = 0; id < kTokens; ++id) {
+      burn(kStageCycles);
+      ch0.write(Token{id, minisc::now()});
+      minisc::wait(kPeriod);
+    }
+    source_done = true;
+  });
+
+  // Frames carry inter-frame state (the vocoder's LPC interpolation), so a
+  // stage consumes them strictly in order. The designs differ in what they
+  // do when the sequence breaks:
+  //   non-resilient: wait for the exact next id. A dropped frame never
+  //     arrives, later frames are discarded as protocol garbage, and the
+  //     stage ends up blocked on an empty channel — everything downstream
+  //     of the first loss is gone.
+  //   resilient: conceal the gap (resync to the newest id) and bound every
+  //     read with a timeout so even a silent upstream cannot stall it.
+  auto stage = [&](scfault::FaultyFifo<Token>& in,
+                   scfault::FaultyFifo<Token>& out) {
+    return [&] {
+      int expected = 0;
+      if (resilient) {
+        while (true) {
+          auto t = in.read_for(kStageTimeout);
+          if (!t.has_value()) {
+            if (source_done) break;  // drained and upstream finished
+            continue;
+          }
+          if (t->id < expected) continue;  // duplicate: already processed
+          expected = t->id + 1;            // loss concealment: resync
+          burn(kStageCycles);
+          out.write(*t);
+        }
+      } else {
+        while (expected < kTokens) {
+          Token t = in.read();
+          if (t.id != expected) continue;  // out-of-sequence: keep waiting
+          ++expected;
+          burn(kStageCycles);
+          out.write(t);
+        }
+      }
+    };
+  };
+  sim.spawn("stage1", stage(ch0, ch1));
+  sim.spawn("stage2", stage(ch1, ch2));
+  sim.spawn("stage3", stage(ch2, ch3));
+
+  sim.spawn("sink", [&] {
+    while (true) {
+      auto t = resilient ? ch3.read_for(kStageTimeout)
+                         : std::optional<Token>(ch3.read());
+      if (!t.has_value()) {
+        if (source_done) break;
+        continue;
+      }
+      if (arrival.emplace(t->id, Arrival{t->born, minisc::now()}).second) {
+        delivered.record(t->id);
+        arrival_order.push_back(minisc::now());
+      }
+    }
+  });
+
+  sim.run(kHorizon);
+
+  CampaignRunResult r;
+  r.seed = seed;
+  r.deadline_total = kTokens;
+  for (int id = 0; id < kTokens; ++id) {
+    const auto it = arrival.find(id);
+    if (it == arrival.end() || it->second.at > it->second.born + kDeadline) {
+      ++r.deadline_missed;
+    }
+  }
+  r.makespan = arrival_order.empty() ? kHorizon : arrival_order.back();
+  for (const Time ft : scenario.fault_times()) {
+    for (const Time at : arrival_order) {
+      if (at > ft) {
+        r.recovery_latencies_ns.push_back((at - ft).to_ns_d());
+        break;
+      }
+    }
+  }
+  r.faults_injected = inj.pulses_injected() + inj.outages_applied() +
+                      inj.crashes_applied();
+  for (auto* ch : {&ch0, &ch1, &ch2, &ch3}) {
+    r.faults_injected += ch->dropped() + ch->duplicated() + ch->delayed();
+  }
+  r.value_hash = reg.value_sequence_hash();
+  return r;
+}
+
+void run_campaign(const char* label, bool resilient, std::uint64_t base_seed,
+                  std::size_t n) {
+  sctrace::FaultCampaign campaign(
+      [resilient](std::uint64_t seed) { return run_pipeline(seed, resilient); });
+  campaign.run(base_seed, n);
+
+  std::printf("== %s mapping ==\n", label);
+  std::ostringstream report;
+  campaign.report().print(report);
+  std::fputs(report.str().c_str(), stdout);
+
+  std::string csv_name = std::string("fault_resilience_") + label + ".csv";
+  std::ofstream csv(csv_name);
+  campaign.write_csv(csv);
+  std::printf("  per-run rows -> %s\n\n", csv_name.c_str());
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kBaseSeed = 1000;
+  constexpr std::size_t kRuns = 24;
+
+  std::printf(
+      "Fault-resilience ablation: %d-frame pipeline, %zu seeded scenarios\n"
+      "faults per run: lossy links (5%% drop / 2%% dup / 10%% delay), 4 CPU\n"
+      "pulses, one 20-50 us CPU outage, stage2 crash+restart at 120 us\n\n",
+      kTokens, kRuns);
+
+  // Determinism gate: one scenario replayed must be bit-identical.
+  const CampaignRunResult a = run_pipeline(kBaseSeed, true);
+  const CampaignRunResult b = run_pipeline(kBaseSeed, true);
+  if (a.value_hash != b.value_hash || a.makespan != b.makespan) {
+    std::printf("FAIL: same seed produced different executions\n");
+    return 1;
+  }
+  std::printf("determinism check: seed %llu replayed identically "
+              "(hash %016llx)\n\n",
+              static_cast<unsigned long long>(kBaseSeed),
+              static_cast<unsigned long long>(a.value_hash));
+
+  run_campaign("non_resilient", /*resilient=*/false, kBaseSeed, kRuns);
+  run_campaign("resilient", /*resilient=*/true, kBaseSeed, kRuns);
+
+  std::printf(
+      "The strict in-order design discards everything after the first lost\n"
+      "frame and ends blocked on an empty channel; the read_for-based\n"
+      "design conceals gaps and keeps the miss rate near the per-frame\n"
+      "fault rate.\n");
+  return 0;
+}

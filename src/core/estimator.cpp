@@ -51,6 +51,18 @@ void Estimator::map(const std::string& process_name, Resource& r,
   mapping_[process_name] = {&r, priority};
 }
 
+Resource* Estimator::mapped_resource(const std::string& process_name) const {
+  const auto it = mapping_.find(process_name);
+  return it == mapping_.end() ? nullptr : it->second.first;
+}
+
+Resource* Estimator::find_resource(const std::string& name) const {
+  for (const auto& r : resources_) {
+    if (r->name() == name) return r.get();
+  }
+  return nullptr;
+}
+
 std::string Estimator::node_label(minisc::NodeKind kind, const char* label) {
   using minisc::NodeKind;
   switch (kind) {
@@ -72,6 +84,18 @@ void Estimator::process_started(minisc::Process& p) {
     p.user_data = nullptr;
     tl_accum = nullptr;
     return;
+  }
+  // A crash-restarted process (Simulator::kill_and_restart) re-enters here:
+  // continue accumulating into its existing context — re-executed work is
+  // real work — but drop the partial segment the crash interrupted.
+  for (const auto& existing : contexts_) {
+    if (existing->name == p.name()) {
+      existing->accum.reset();
+      existing->seg_from = "entry";
+      p.user_data = existing.get();
+      tl_accum = &existing->accum;
+      return;
+    }
   }
   auto ctx = std::make_unique<ProcessCtx>();
   ctx->name = p.name();
@@ -188,6 +212,17 @@ void Estimator::back_annotate_sw(ProcessCtx& ctx, SwResource& cpu,
     return;  // an empty segment executes nothing: no processor occupation
   }
   const std::uint64_t ticket = cpu.enter_contention(ctx.priority);
+  // A fault-injected crash (Simulator::kill) unwinds this stack out of any
+  // of the waits below; the dead ticket must leave the contention set or the
+  // policy would starve every other contender forever.
+  struct ContentionGuard {
+    SwResource& cpu;
+    std::uint64_t ticket;
+    bool active = true;
+    ~ContentionGuard() {
+      if (active) cpu.leave_contention(ticket);
+    }
+  } guard{cpu, ticket};
   // Let every segment released in this same instant register before anyone
   // claims, so simultaneous arrivals contend under the policy instead of
   // under the delta-cycle execution order (which the strict-timed semantics
@@ -207,6 +242,7 @@ void Estimator::back_annotate_sw(ProcessCtx& ctx, SwResource& cpu,
     }
     break;
   }
+  guard.active = false;
   cpu.leave_contention(ticket);
   const minisc::Time total = delay + rtos;
   cpu.set_busy_until(sim_.now() + total);
@@ -243,6 +279,17 @@ void Estimator::back_annotate_sw_preemptive(ProcessCtx& ctx, SwResource& cpu,
   minisc::Time remaining = delay + rtos;
   cpu.add_rtos(rtos);
   SwResource::PreemptJob& me = cpu.preempt_enter(ctx.priority);
+  // A crash unwinding out of the waits below must release the job slot, or
+  // the scheduler would consider the dead job runnable forever and never
+  // dispatch anyone else.
+  struct PreemptGuard {
+    SwResource& cpu;
+    SwResource::PreemptJob& me;
+    bool active = true;
+    ~PreemptGuard() {
+      if (active) cpu.preempt_leave(me);
+    }
+  } pguard{cpu, me};
   std::uint64_t seen_preemptions = 0;
   while (true) {
     if (!me.running) {
@@ -266,6 +313,7 @@ void Estimator::back_annotate_sw_preemptive(ProcessCtx& ctx, SwResource& cpu,
   // Pure computation time; the RTOS share was accumulated separately above
   // (utilisation reports busy + rtos).
   cpu.add_busy(delay);
+  pguard.active = false;
   cpu.preempt_leave(me);
   cpu.count_dispatch();
 }

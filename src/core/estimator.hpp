@@ -66,6 +66,14 @@ class Estimator final : public minisc::KernelHook {
     return resources_;
   }
 
+  /// The resource a process name is mapped to (nullptr when unmapped) —
+  /// the seam layered tools (fault injection, tracing) use to translate
+  /// process-level callbacks into resource-level effects.
+  Resource* mapped_resource(const std::string& process_name) const;
+
+  /// A resource by name (nullptr when absent), any kind.
+  Resource* find_resource(const std::string& name) const;
+
   // ---- results ----
 
   Report report() const;

@@ -1,0 +1,201 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "fault/scenario.hpp"
+#include "kernel/channels.hpp"
+#include "kernel/simulator.hpp"
+
+namespace scfault {
+
+namespace detail {
+
+/// Per-channel fault state shared by the wrappers: the spec applying to this
+/// channel (nullptr = fault-free) and its private deterministic stream.
+/// Decisions are drawn per write in channel-local order, so a channel's
+/// fault sequence depends only on (scenario seed, channel name, number of
+/// prior writes on this channel) — never on scheduling order elsewhere.
+class ChannelFaults {
+ public:
+  void attach(const FaultScenario& scenario, const std::string& name) {
+    spec_ = scenario.channel_spec(name);
+    rng_ = scenario.channel_stream(name);
+  }
+  void detach() { spec_ = nullptr; }
+  bool active() const { return spec_ != nullptr; }
+
+  enum class Action { kDeliver, kDrop, kDuplicate, kDelay };
+
+  /// Draws the fate of the next write (kDeliver when fault-free).
+  Action draw(minisc::Time& delay_out) {
+    if (spec_ == nullptr) return Action::kDeliver;
+    const double u = rng_.uniform();
+    if (u < spec_->drop_p) return Action::kDrop;
+    if (u < spec_->drop_p + spec_->dup_p) return Action::kDuplicate;
+    if (u < spec_->drop_p + spec_->dup_p + spec_->delay_p) {
+      delay_out = rng_.time_in(spec_->min_delay, spec_->max_delay);
+      return Action::kDelay;
+    }
+    return Action::kDeliver;
+  }
+
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+
+ private:
+  const ChannelFaultSpec* spec_ = nullptr;
+  Rng rng_{0};
+};
+
+}  // namespace detail
+
+/// A minisc::Fifo whose WRITE side models an unreliable link: each write may
+/// be dropped (the value vanishes; the writer believes it sent), duplicated
+/// (delivered twice) or delayed (the writer is held for a drawn latency
+/// before the value enters the FIFO — an in-order lossy link, like a flaky
+/// on-chip bus or a serial line, not a reordering network).
+///
+/// Interface-compatible with Fifo, so swapping the type in a spec is the
+/// whole integration. Without attach() — or when the scenario has no spec
+/// for this channel — every operation forwards straight to the inner Fifo:
+/// one pointer test per write, nothing on reads.
+///
+/// A dropped write still executes a zero-length timed wait so the writer's
+/// segment closes at the node like a real (completed) send would; the writer
+/// cannot tell a dropped send from an instant one, which is the point.
+template <typename T>
+class FaultyFifo {
+ public:
+  explicit FaultyFifo(std::string name, std::size_t capacity = 16)
+      : inner_(std::move(name), capacity) {}
+
+  /// Binds this channel to a scenario (typically once per campaign run,
+  /// right after construction). Resets nothing else: construct fresh
+  /// channels per run for reproducible streams.
+  void attach(const FaultScenario& scenario) {
+    faults_.attach(scenario, inner_.name());
+  }
+  void detach() { faults_.detach(); }
+
+  void write(T v) {
+    minisc::Time delay;
+    switch (faults_.draw(delay)) {
+      case detail::ChannelFaults::Action::kDrop:
+        ++faults_.dropped;
+        minisc::wait(minisc::Time::zero());
+        return;
+      case detail::ChannelFaults::Action::kDuplicate:
+        ++faults_.duplicated;
+        inner_.write(v);
+        inner_.write(std::move(v));
+        return;
+      case detail::ChannelFaults::Action::kDelay:
+        ++faults_.delayed;
+        minisc::wait(delay);
+        inner_.write(std::move(v));
+        return;
+      case detail::ChannelFaults::Action::kDeliver:
+        inner_.write(std::move(v));
+        return;
+    }
+  }
+
+  bool nb_write(T v) {
+    minisc::Time delay;
+    switch (faults_.draw(delay)) {
+      case detail::ChannelFaults::Action::kDrop:
+        ++faults_.dropped;
+        return true;  // the writer believes the send succeeded
+      case detail::ChannelFaults::Action::kDuplicate:
+        ++faults_.duplicated;
+        inner_.nb_write(v);
+        return inner_.nb_write(std::move(v));
+      case detail::ChannelFaults::Action::kDelay:
+        // A non-blocking write cannot be held; model the delay as a drop of
+        // the timing fault only (deliver immediately).
+        ++faults_.delayed;
+        return inner_.nb_write(std::move(v));
+      case detail::ChannelFaults::Action::kDeliver:
+        return inner_.nb_write(std::move(v));
+    }
+    return false;  // unreachable
+  }
+
+  // Reads are unaffected by link faults: forward verbatim.
+  T read() { return inner_.read(); }
+  std::optional<T> read_for(minisc::Time timeout) {
+    return inner_.read_for(timeout);
+  }
+  bool nb_read(T& out) { return inner_.nb_read(out); }
+
+  std::size_t num_available() const { return inner_.num_available(); }
+  std::size_t num_free() const { return inner_.num_free(); }
+  std::size_t capacity() const { return inner_.capacity(); }
+  const std::string& name() const { return inner_.name(); }
+
+  std::uint64_t dropped() const { return faults_.dropped; }
+  std::uint64_t duplicated() const { return faults_.duplicated; }
+  std::uint64_t delayed() const { return faults_.delayed; }
+
+ private:
+  minisc::Fifo<T> inner_;
+  detail::ChannelFaults faults_;
+};
+
+/// Rendezvous counterpart of FaultyFifo. Duplication delivers the value to
+/// two successive readers (the second rendezvous blocks the writer until a
+/// reader shows up, like any rendezvous write).
+template <typename T>
+class FaultyRendezvous {
+ public:
+  explicit FaultyRendezvous(std::string name) : inner_(std::move(name)) {}
+
+  void attach(const FaultScenario& scenario) {
+    faults_.attach(scenario, inner_.name());
+  }
+  void detach() { faults_.detach(); }
+
+  void write(T v) {
+    minisc::Time delay;
+    switch (faults_.draw(delay)) {
+      case detail::ChannelFaults::Action::kDrop:
+        ++faults_.dropped;
+        minisc::wait(minisc::Time::zero());
+        return;
+      case detail::ChannelFaults::Action::kDuplicate:
+        ++faults_.duplicated;
+        inner_.write(v);
+        inner_.write(std::move(v));
+        return;
+      case detail::ChannelFaults::Action::kDelay:
+        ++faults_.delayed;
+        minisc::wait(delay);
+        inner_.write(std::move(v));
+        return;
+      case detail::ChannelFaults::Action::kDeliver:
+        inner_.write(std::move(v));
+        return;
+    }
+  }
+
+  T read() { return inner_.read(); }
+  std::optional<T> read_for(minisc::Time timeout) {
+    return inner_.read_for(timeout);
+  }
+
+  const std::string& name() const { return inner_.name(); }
+
+  std::uint64_t dropped() const { return faults_.dropped; }
+  std::uint64_t duplicated() const { return faults_.duplicated; }
+  std::uint64_t delayed() const { return faults_.delayed; }
+
+ private:
+  minisc::Rendezvous<T> inner_;
+  detail::ChannelFaults faults_;
+};
+
+}  // namespace scfault

@@ -1,0 +1,112 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "core/context.hpp"
+#include "core/resource.hpp"
+
+namespace scfault {
+
+FaultInjector::FaultInjector(minisc::Simulator& sim, scperf::Estimator& est,
+                             const FaultScenario& scenario)
+    : sim_(sim), est_(est), scenario_(scenario),
+      consumed_(scenario.pulses().size(), false) {
+  inner_ = sim_.hook();
+  sim_.set_hook(this);
+  spawn_drivers();
+}
+
+FaultInjector::~FaultInjector() {
+  if (sim_.hook() == this) sim_.set_hook(inner_);
+}
+
+void FaultInjector::spawn_drivers() {
+  if (!scenario_.outages().empty()) {
+    sim_.spawn("fault.outages", [this] {
+      for (const Outage& o : scenario_.outages()) {
+        const minisc::Time t = sim_.now();
+        if (o.start > t) sim_.raw_wait(o.start - t);
+        auto* sw = dynamic_cast<scperf::SwResource*>(
+            est_.find_resource(o.resource));
+        if (sw == nullptr) continue;  // unknown or non-SW target: no effect
+        // Claims require busy_until <= now, so pinning it to the window end
+        // stalls every occupation issued inside the window. An occupation
+        // already running keeps its own (earlier) raw_wait and finishes, but
+        // its successor on the same processor waits out the outage too.
+        const minisc::Time end = o.start + o.length;
+        if (sw->busy_until() < end) sw->set_busy_until(end);
+        ++outages_applied_;
+      }
+    });
+  }
+  if (!scenario_.crashes().empty()) {
+    sim_.spawn("fault.crashes", [this] {
+      for (const CrashSpec& c : scenario_.crashes()) {
+        const minisc::Time t = sim_.now();
+        if (c.at > t) sim_.raw_wait(c.at - t);
+        minisc::Process* victim = sim_.find_process(c.process);
+        if (victim == nullptr || victim->terminated()) continue;
+        if (c.restart_after == minisc::Time::max()) {
+          sim_.kill(*victim);
+        } else {
+          sim_.kill_and_restart(*victim, c.restart_after);
+        }
+        ++crashes_applied_;
+      }
+    });
+  }
+}
+
+void FaultInjector::drain_pulses(minisc::Process& p) {
+  // Pulses are sorted; everything due at or before `now` targeting the
+  // resource this process runs on is charged into the segment the estimator
+  // is about to close. Due pulses for OTHER resources stay pending until one
+  // of their own processes reaches a node — a pulse hits the first segment
+  // boundary on its resource after the fault instant.
+  if (next_pulse_ >= scenario_.pulses().size()) return;
+  scperf::Resource* r = est_.mapped_resource(p.name());
+  if (r == nullptr) return;
+  scperf::SegmentAccum* acc = scperf::tl_accum;
+  if (acc == nullptr) return;
+  const minisc::Time now = sim_.now();
+  const auto& pulses = scenario_.pulses();
+  // next_pulse_ skips the fully-consumed prefix; within the due window we
+  // scan for matches so cross-resource ordering cannot starve a pulse whose
+  // resource's processes reach their nodes later than another resource's.
+  for (std::size_t i = next_pulse_; i < pulses.size(); ++i) {
+    const Pulse& pulse = pulses[i];
+    if (pulse.at > now) break;
+    if (consumed_[i] || pulse.resource != r->name()) continue;
+    acc->sum_cycles += pulse.extra_cycles;
+    if (acc->track_ready) acc->max_ready += pulse.extra_cycles;
+    consumed_[i] = true;
+    ++pulses_injected_;
+    extra_cycles_injected_ += pulse.extra_cycles;
+  }
+  while (next_pulse_ < pulses.size() && consumed_[next_pulse_]) ++next_pulse_;
+}
+
+void FaultInjector::process_started(minisc::Process& p) {
+  if (inner_ != nullptr) inner_->process_started(p);
+}
+
+void FaultInjector::process_finished(minisc::Process& p) {
+  if (inner_ != nullptr) inner_->process_finished(p);
+}
+
+void FaultInjector::process_resumed(minisc::Process& p) {
+  if (inner_ != nullptr) inner_->process_resumed(p);
+}
+
+void FaultInjector::node_reached(minisc::Process& p, minisc::NodeKind kind,
+                                 const char* label) {
+  drain_pulses(p);
+  if (inner_ != nullptr) inner_->node_reached(p, kind, label);
+}
+
+void FaultInjector::node_done(minisc::Process& p, minisc::NodeKind kind,
+                              const char* label) {
+  if (inner_ != nullptr) inner_->node_done(p, kind, label);
+}
+
+}  // namespace scfault

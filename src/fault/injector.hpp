@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "fault/scenario.hpp"
+#include "kernel/hooks.hpp"
+#include "kernel/simulator.hpp"
+
+namespace scfault {
+
+/// Injects a FaultScenario into a running estimation session without touching
+/// the user's specification. Installed as the simulator's kernel hook, it
+/// wraps the previously installed hook (normally the scperf::Estimator) and
+/// forwards every callback — so estimation semantics are unchanged — while
+/// adding the scenario's faults through the existing seams:
+///
+///  - Pulses: when a process mapped to the pulsed resource reaches its next
+///    node after the pulse time, the extra cycles are charged into the
+///    closing segment's accumulator (scperf::tl_accum) before the estimator
+///    sees it. The back-annotation then naturally extends the occupation
+///    (SW) or the estimate (HW) — statistics, contention and energy all see
+///    the fault as ordinary work.
+///  - Outages: a driver process pins the SW resource's busy_until to the
+///    outage end, so every occupation request issued during the window
+///    stalls until it closes (in-flight occupations complete).
+///  - Crashes: a driver process calls Simulator::kill / kill_and_restart at
+///    the scheduled times.
+///  - Channel faults are NOT applied here: they live in FaultyFifo /
+///    FaultyRendezvous, which pull their per-channel streams from the same
+///    scenario (see fault/channels.hpp).
+///
+/// Construct AFTER the estimator (declaration order: Simulator, Estimator,
+/// FaultInjector) and before run(). The destructor restores the inner hook.
+/// When no injector is constructed, fault support costs nothing: the kernel
+/// and estimator run exactly the code they ran before the subsystem existed.
+class FaultInjector final : public minisc::KernelHook {
+ public:
+  FaultInjector(minisc::Simulator& sim, scperf::Estimator& est,
+                const FaultScenario& scenario);
+  ~FaultInjector() override;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // ---- injection counters (observability for reports and tests) ----
+
+  std::uint64_t pulses_injected() const { return pulses_injected_; }
+  double extra_cycles_injected() const { return extra_cycles_injected_; }
+  std::uint64_t outages_applied() const { return outages_applied_; }
+  std::uint64_t crashes_applied() const { return crashes_applied_; }
+
+  // ---- KernelHook (forwarders + pulse drain) ----
+
+  void process_started(minisc::Process& p) override;
+  void process_finished(minisc::Process& p) override;
+  void process_resumed(minisc::Process& p) override;
+  void node_reached(minisc::Process& p, minisc::NodeKind kind,
+                    const char* label) override;
+  void node_done(minisc::Process& p, minisc::NodeKind kind,
+                 const char* label) override;
+
+ private:
+  void spawn_drivers();
+  void drain_pulses(minisc::Process& p);
+
+  minisc::Simulator& sim_;
+  scperf::Estimator& est_;
+  const FaultScenario& scenario_;
+  minisc::KernelHook* inner_ = nullptr;
+
+  std::size_t next_pulse_ = 0;  ///< scenario pulses are sorted by time
+  std::vector<bool> consumed_;  ///< per-pulse delivered flag
+  std::uint64_t pulses_injected_ = 0;
+  double extra_cycles_injected_ = 0.0;
+  std::uint64_t outages_applied_ = 0;
+  std::uint64_t crashes_applied_ = 0;
+};
+
+}  // namespace scfault

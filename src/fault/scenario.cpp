@@ -1,0 +1,85 @@
+#include "fault/scenario.hpp"
+
+#include <algorithm>
+
+namespace scfault {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  // One splitmix64 step over the xor keeps child streams decorrelated even
+  // for adjacent seeds (0, 1, 2, ... — the natural campaign indexing).
+  std::uint64_t z = (seed ^ stream) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+FaultScenario::FaultScenario(ScenarioConfig config, std::uint64_t seed)
+    : config_(std::move(config)), seed_(seed) {
+  // Each fault class draws from its own sub-stream so that, e.g., adding a
+  // pulse spec never shifts the outage timeline of the same seed.
+  Rng pulse_rng(mix_seed(seed_, fnv1a("pulses")));
+  for (const PulseSpec& spec : config_.pulses) {
+    Rng rng(mix_seed(pulse_rng.next(), fnv1a(spec.resource)));
+    for (std::size_t i = 0; i < spec.count; ++i) {
+      Pulse p;
+      p.resource = spec.resource;
+      p.at = rng.time_in(minisc::Time::zero(), config_.horizon);
+      p.extra_cycles =
+          rng.uniform(spec.min_extra_cycles, spec.max_extra_cycles);
+      pulses_.push_back(std::move(p));
+    }
+  }
+  std::stable_sort(pulses_.begin(), pulses_.end(),
+                   [](const Pulse& a, const Pulse& b) { return a.at < b.at; });
+
+  Rng outage_rng(mix_seed(seed_, fnv1a("outages")));
+  for (const OutageSpec& spec : config_.outages) {
+    Rng rng(mix_seed(outage_rng.next(), fnv1a(spec.resource)));
+    for (std::size_t i = 0; i < spec.count; ++i) {
+      Outage o;
+      o.resource = spec.resource;
+      o.start = rng.time_in(minisc::Time::zero(), config_.horizon);
+      o.length = rng.time_in(spec.min_length, spec.max_length);
+      outages_.push_back(std::move(o));
+    }
+  }
+  std::stable_sort(
+      outages_.begin(), outages_.end(),
+      [](const Outage& a, const Outage& b) { return a.start < b.start; });
+
+  crashes_ = config_.crashes;
+  std::stable_sort(
+      crashes_.begin(), crashes_.end(),
+      [](const CrashSpec& a, const CrashSpec& b) { return a.at < b.at; });
+}
+
+const ChannelFaultSpec* FaultScenario::channel_spec(
+    const std::string& name) const {
+  const ChannelFaultSpec* wildcard = nullptr;
+  for (const ChannelFaultSpec& spec : config_.channel_faults) {
+    if (spec.channel == name) return &spec;
+    if (spec.channel == "*") wildcard = &spec;
+  }
+  return wildcard;
+}
+
+std::vector<minisc::Time> FaultScenario::fault_times() const {
+  std::vector<minisc::Time> times;
+  times.reserve(pulses_.size() + outages_.size() + crashes_.size());
+  for (const Pulse& p : pulses_) times.push_back(p.at);
+  for (const Outage& o : outages_) times.push_back(o.start);
+  for (const CrashSpec& c : crashes_) times.push_back(c.at);
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+}  // namespace scfault

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "kernel/time.hpp"
+
+namespace scfault {
+
+/// Deterministic 64-bit generator (splitmix64). Chosen over <random> engines
+/// because its output is fully specified by the algorithm — the same seed
+/// produces the same fault timeline on every platform and standard library,
+/// which is what makes resilience campaigns reproducible and their capture
+/// hashes comparable across machines.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi].
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+
+  /// Uniform Time in [lo, hi] (picosecond granularity).
+  minisc::Time time_in(minisc::Time lo, minisc::Time hi) {
+    if (hi <= lo) return lo;
+    const std::uint64_t span = hi.to_ps() - lo.to_ps();
+    if (span == std::numeric_limits<std::uint64_t>::max()) {
+      return minisc::Time::ps(next());  // degenerate full-range request
+    }
+    return minisc::Time::ps(lo.to_ps() + next() % (span + 1));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// FNV-1a hash of a string — used to derive per-channel RNG streams from the
+/// scenario seed so that adding or reordering channels never perturbs the
+/// fault sequence another channel sees.
+std::uint64_t fnv1a(const std::string& s);
+
+/// Mixes a seed with a stream id into an independent-looking child seed.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream);
+
+// ---- scenario specification (what the user writes) ----
+
+/// Transient extra-delay pulses on a resource: each pulse charges extra
+/// estimated cycles into the segment that is executing on the resource when
+/// the pulse fires (an EMI glitch, a DRAM refresh storm, a cache flush).
+struct PulseSpec {
+  std::string resource;
+  std::size_t count = 0;
+  double min_extra_cycles = 0.0;
+  double max_extra_cycles = 0.0;
+};
+
+/// Resource outage windows: while an outage is active the resource accepts no
+/// new occupation — every segment that tries to claim it stalls until the
+/// window ends (a processor lockup, a bus reset). In-flight occupations
+/// complete. SW resources only: HW resources model spatial parallelism and
+/// have no serialising claim to stall.
+struct OutageSpec {
+  std::string resource;
+  std::size_t count = 0;
+  minisc::Time min_length;
+  minisc::Time max_length;
+};
+
+/// Message faults on a channel wrapped in FaultyFifo / FaultyRendezvous.
+/// Probabilities are per write and disjoint (drop_p + dup_p + delay_p <= 1;
+/// the remainder delivers normally). `channel` is an exact channel name or
+/// "*" for every attached channel.
+struct ChannelFaultSpec {
+  std::string channel;
+  double drop_p = 0.0;
+  double dup_p = 0.0;
+  double delay_p = 0.0;
+  minisc::Time min_delay;
+  minisc::Time max_delay;
+};
+
+/// Crash-kill of a process at a fixed time; restart_after == Time::max()
+/// means no restart (a permanent fault), anything else re-runs the process
+/// body from the top after that recovery delay.
+struct CrashSpec {
+  std::string process;
+  minisc::Time at;
+  minisc::Time restart_after = minisc::Time::max();
+};
+
+struct ScenarioConfig {
+  /// Fault times are drawn uniformly in [0, horizon).
+  minisc::Time horizon;
+  std::vector<PulseSpec> pulses;
+  std::vector<OutageSpec> outages;
+  std::vector<ChannelFaultSpec> channel_faults;
+  std::vector<CrashSpec> crashes;
+};
+
+// ---- concrete drawn faults (what one seed produces) ----
+
+struct Pulse {
+  std::string resource;
+  minisc::Time at;
+  double extra_cycles = 0.0;
+};
+
+struct Outage {
+  std::string resource;
+  minisc::Time start;
+  minisc::Time length;
+};
+
+/// One seeded instantiation of a ScenarioConfig: every random choice in the
+/// spec is resolved into a concrete, sorted fault timeline at construction.
+/// The same (config, seed) pair always yields the same timeline and the same
+/// per-channel fault streams; seeds index the campaign's sample space.
+class FaultScenario {
+ public:
+  FaultScenario(ScenarioConfig config, std::uint64_t seed);
+
+  std::uint64_t seed() const { return seed_; }
+  const ScenarioConfig& config() const { return config_; }
+
+  /// Drawn pulses / outages, each sorted by time.
+  const std::vector<Pulse>& pulses() const { return pulses_; }
+  const std::vector<Outage>& outages() const { return outages_; }
+  /// Crashes from the config, sorted by time.
+  const std::vector<CrashSpec>& crashes() const { return crashes_; }
+
+  /// The fault spec applying to a channel name (exact match wins over "*");
+  /// nullptr when the scenario leaves the channel fault-free.
+  const ChannelFaultSpec* channel_spec(const std::string& name) const;
+
+  /// Independent deterministic stream for one channel, derived from the
+  /// scenario seed and the channel name only — stable under any change to
+  /// the rest of the scenario.
+  Rng channel_stream(const std::string& name) const {
+    return Rng(mix_seed(seed_, fnv1a(name)));
+  }
+
+  /// All drawn fault times (pulses, outage starts, crashes), sorted —
+  /// recovery-latency analysis measures from these instants.
+  std::vector<minisc::Time> fault_times() const;
+
+ private:
+  ScenarioConfig config_;
+  std::uint64_t seed_;
+  std::vector<Pulse> pulses_;
+  std::vector<Outage> outages_;
+  std::vector<CrashSpec> crashes_;
+};
+
+}  // namespace scfault

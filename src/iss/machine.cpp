@@ -95,8 +95,18 @@ InstrClass classify(Opcode op) {
 // ----------------------------------------------------------------- cache ----
 
 DirectMappedCache::DirectMappedCache(Config cfg) : cfg_(cfg) {
-  assert((cfg_.lines & (cfg_.lines - 1)) == 0 && "lines must be a power of 2");
-  assert((cfg_.line_bytes & (cfg_.line_bytes - 1)) == 0);
+  // Release builds would silently drop an assert and compute garbage index
+  // masks; reject non-power-of-two geometries loudly instead.
+  const auto pow2 = [](std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; };
+  if (!pow2(cfg_.lines)) {
+    throw std::invalid_argument("DirectMappedCache: lines must be a power of 2, got " +
+                                std::to_string(cfg_.lines));
+  }
+  if (!pow2(cfg_.line_bytes)) {
+    throw std::invalid_argument(
+        "DirectMappedCache: line_bytes must be a power of 2, got " +
+        std::to_string(cfg_.line_bytes));
+  }
   index_mask_ = cfg_.lines - 1;
   offset_bits_ = 0;
   for (std::uint32_t b = cfg_.line_bytes; b > 1; b >>= 1) ++offset_bits_;

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <deque>
 #include <optional>
@@ -54,13 +53,39 @@ class Fifo : private Updatable {
         capacity_(capacity),
         data_written_(name_ + ".written"),
         data_read_(name_ + ".read") {
-    assert(capacity_ > 0);
+    if (capacity_ == 0) {
+      // An assert would vanish in release builds and every write would then
+      // block forever; reject the configuration loudly instead.
+      throw SimError(SimError::Kind::kBadConfig,
+                     "Fifo '" + name_ + "': capacity must be > 0");
+    }
   }
 
   /// Blocking read; pops the oldest visible element.
   T read() {
     detail::NodeScope node(NodeKind::kChannelRead, name_.c_str());
     while (num_available() == 0) wait(data_written_);
+    T v = std::move(buf_.front());
+    buf_.pop_front();
+    ++num_read_;
+    request_update();
+    return v;
+  }
+
+  /// Blocking read with a timeout: nullopt if nothing became visible within
+  /// `timeout`. The clock starts after the node's hook callbacks (i.e. after
+  /// any back-annotated segment delay), so the timeout is pure waiting-for-
+  /// data time — the primitive for building loss-tolerant (resilient)
+  /// consumers on top of unreliable producers.
+  std::optional<T> read_for(Time timeout) {
+    detail::NodeScope node(NodeKind::kChannelRead, name_.c_str());
+    Simulator& sim = Simulator::current();
+    const Time deadline = sim.now() + timeout;
+    while (num_available() == 0) {
+      const Time t = sim.now();
+      if (t >= deadline) return std::nullopt;
+      wait(data_written_, deadline - t);
+    }
     T v = std::move(buf_.front());
     buf_.pop_front();
     ++num_read_;
@@ -152,6 +177,25 @@ class Rendezvous {
   T read() {
     detail::NodeScope node(NodeKind::kChannelRead, name_.c_str());
     while (!slot_.has_value()) wait(data_ready_);
+    T v = std::move(*slot_);
+    slot_.reset();
+    ++consumed_seq_;
+    data_taken_.notify();
+    slot_free_.notify();
+    return v;
+  }
+
+  /// Blocking read with a timeout: nullopt if no writer showed up within
+  /// `timeout` (same clock-start semantics as Fifo::read_for).
+  std::optional<T> read_for(Time timeout) {
+    detail::NodeScope node(NodeKind::kChannelRead, name_.c_str());
+    Simulator& sim = Simulator::current();
+    const Time deadline = sim.now() + timeout;
+    while (!slot_.has_value()) {
+      const Time t = sim.now();
+      if (t >= deadline) return std::nullopt;
+      wait(data_ready_, deadline - t);
+    }
     T v = std::move(*slot_);
     slot_.reset();
     ++consumed_seq_;

@@ -1,0 +1,66 @@
+#include "kernel/error.hpp"
+
+#include <sstream>
+
+namespace minisc {
+
+const char* to_string(SimError::Kind k) {
+  switch (k) {
+    case SimError::Kind::kDeltaStorm:
+      return "delta_storm";
+    case SimError::Kind::kDispatchStorm:
+      return "dispatch_storm";
+    case SimError::Kind::kWallClockBudget:
+      return "wall_clock_budget";
+    case SimError::Kind::kSimTimeBudget:
+      return "sim_time_budget";
+    case SimError::Kind::kNoSimulator:
+      return "no_simulator";
+    case SimError::Kind::kNoProcessContext:
+      return "no_process_context";
+    case SimError::Kind::kBadConfig:
+      return "bad_config";
+  }
+  return "?";
+}
+
+std::string ProcessDiagnostic::str() const {
+  std::string out = name;
+  out += " [";
+  out += state;
+  out += "]";
+  if (!blocked_on.empty()) {
+    out += " blocked on ";
+    out += blocked_on;
+  }
+  if (restarts > 0) {
+    out += " (restarts: " + std::to_string(restarts) + ")";
+  }
+  return out;
+}
+
+std::string SimError::format(Kind kind, const std::string& summary,
+                             Time sim_time, std::uint64_t delta,
+                             const std::vector<ProcessDiagnostic>& processes) {
+  std::ostringstream os;
+  os << "minisc::SimError(" << to_string(kind) << "): " << summary;
+  if (kind != Kind::kNoSimulator && kind != Kind::kNoProcessContext &&
+      kind != Kind::kBadConfig) {
+    os << " at t=" << sim_time.str() << " delta=" << delta;
+  }
+  for (const ProcessDiagnostic& p : processes) {
+    os << "\n  - " << p.str();
+  }
+  return os.str();
+}
+
+SimError::SimError(Kind kind, std::string summary, Time sim_time,
+                   std::uint64_t delta,
+                   std::vector<ProcessDiagnostic> processes)
+    : std::runtime_error(format(kind, summary, sim_time, delta, processes)),
+      kind_(kind),
+      sim_time_(sim_time),
+      delta_(delta),
+      processes_(std::move(processes)) {}
+
+}  // namespace minisc

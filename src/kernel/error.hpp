@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "kernel/time.hpp"
+
+namespace minisc {
+
+/// Snapshot of one process's scheduler state, taken when the kernel reports a
+/// structured failure (watchdog trip, deadlock diagnosis). `blocked_on` names
+/// the event or timer the process is waiting for ("" when not waiting).
+struct ProcessDiagnostic {
+  std::string name;
+  const char* state = "?";  ///< created / ready / running / waiting / terminated
+  std::string blocked_on;
+  std::uint64_t restarts = 0;  ///< crash-restart count (fault injection)
+
+  std::string str() const;
+};
+
+/// Structured kernel failure: instead of hanging (livelock) or silently
+/// corrupting state (release-build assert), the kernel throws one of these
+/// with enough context to diagnose the offending specification — the
+/// simulated time, delta count, and the state of every live process.
+class SimError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kDeltaStorm,       ///< delta cycles at one instant exceeded the budget
+    kDispatchStorm,    ///< dispatches at one instant exceeded the budget
+    kWallClockBudget,  ///< host wall-clock budget exceeded (hang)
+    kSimTimeBudget,    ///< simulated-time budget exceeded
+    kNoSimulator,       ///< Simulator::current() with no live simulator
+    kNoProcessContext,  ///< process-only operation called from outside
+    kBadConfig,         ///< invalid construction parameter
+  };
+
+  SimError(Kind kind, std::string summary, Time sim_time = Time::zero(),
+           std::uint64_t delta = 0,
+           std::vector<ProcessDiagnostic> processes = {});
+
+  Kind kind() const { return kind_; }
+  Time sim_time() const { return sim_time_; }
+  std::uint64_t delta() const { return delta_; }
+  /// State of every live (non-terminated) process at the moment of failure.
+  const std::vector<ProcessDiagnostic>& processes() const {
+    return processes_;
+  }
+
+ private:
+  static std::string format(Kind kind, const std::string& summary,
+                            Time sim_time, std::uint64_t delta,
+                            const std::vector<ProcessDiagnostic>& processes);
+
+  Kind kind_;
+  Time sim_time_;
+  std::uint64_t delta_;
+  std::vector<ProcessDiagnostic> processes_;
+};
+
+const char* to_string(SimError::Kind k);
+
+}  // namespace minisc

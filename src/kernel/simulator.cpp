@@ -15,6 +15,13 @@ thread_local Simulator* g_current = nullptr;
 /// sc_unwind_exception). Never escapes the trampoline.
 struct KillUnwind {};
 
+/// Thrown inside a process to deliver a fault-injection crash
+/// (Simulator::kill / kill_and_restart): unwinds the coroutine stack running
+/// destructors, then the trampoline either terminates the process or parks
+/// it for a restart. Never escapes the trampoline. User code must not
+/// swallow it with a bare catch(...).
+struct CrashUnwind {};
+
 }  // namespace
 
 const char* to_string(NodeKind k) {
@@ -132,18 +139,39 @@ void Process::trampoline(unsigned hi, unsigned lo) {
 }
 
 void Process::run_body() {
-  if (KernelHook* h = sim_.hook()) h->process_started(*this);
-  bool clean_exit = false;
-  try {
-    body_();
-    clean_exit = true;
-  } catch (const KillUnwind&) {
-    // Simulator teardown: the stack is now unwound; just terminate.
-  } catch (...) {
-    error_ = std::current_exception();
-  }
-  if (clean_exit) {
-    if (KernelHook* h = sim_.hook()) h->process_finished(*this);
+  for (;;) {
+    bool crashed = false;
+    if (crash_requested_) {
+      // Crashed before the (re)started body ever ran: nothing to unwind.
+      crash_requested_ = false;
+      crashed = true;
+    } else {
+      if (KernelHook* h = sim_.hook()) h->process_started(*this);
+      bool clean_exit = false;
+      try {
+        body_();
+        clean_exit = true;
+      } catch (const KillUnwind&) {
+        // Simulator teardown: the stack is now unwound; just terminate.
+      } catch (const CrashUnwind&) {
+        crash_requested_ = false;
+        crashed = true;
+      } catch (...) {
+        error_ = std::current_exception();
+      }
+      if (clean_exit) {
+        if (KernelHook* h = sim_.hook()) h->process_finished(*this);
+      }
+    }
+    if (crashed && restart_delay_.has_value()) {
+      const Time d = *restart_delay_;
+      restart_delay_.reset();
+      ++restart_count_;
+      // Park until the restart time, then re-run the body from the top
+      // (false means the simulator tore down while we were parked).
+      if (sim_.wait_for_restart(*this, d)) continue;
+    }
+    break;
   }
   state_ = State::kTerminated;
   // Never returns: a terminated process is never dispatched again.
@@ -165,7 +193,12 @@ Simulator::~Simulator() {
 }
 
 Simulator& Simulator::current() {
-  assert(g_current != nullptr && "no Simulator exists on this thread");
+  if (g_current == nullptr) {
+    // A release-build assert here would return a dangling reference and
+    // silently corrupt the run; fail loudly instead.
+    throw SimError(SimError::Kind::kNoSimulator,
+                   "no Simulator exists on this thread");
+  }
   return *g_current;
 }
 
@@ -192,6 +225,8 @@ void Simulator::dispatch(Process& p) {
   p.state_ = Process::State::kRunning;
   p.started_ = true;
   ++p.wait_id_;  // invalidate stale timer/event wakeups
+  p.waiting_event_ = nullptr;
+  p.wake_at_ = Time::max();
   running_ = &p;
   if (exec_trace_enabled_) {
     exec_trace_.push_back({now_, delta_count_, p.name()});
@@ -211,6 +246,10 @@ void Simulator::yield_to_kernel() {
   swapcontext(&p.ctx_, &main_ctx_);
   // Resumed. During teardown the kernel resumes us one last time to unwind.
   if (p.kill_requested_) throw KillUnwind{};
+  if (p.crash_requested_) {
+    p.crash_requested_ = false;
+    throw CrashUnwind{};
+  }
 }
 
 void Simulator::schedule_timer(TimerEntry e) {
@@ -240,11 +279,24 @@ bool Simulator::fire_timer_entry(const TimerEntry& e) {
 
 StopReason Simulator::run(Time limit) {
   stop_requested_ = false;
+  run_started_ = std::chrono::steady_clock::now();
+  wall_clock_countdown_ = kWallClockCheckStride;
   while (true) {
     // ---- evaluate phase ----
     while (!runnable_.empty()) {
       Process* p = runnable_.front();
       runnable_.pop_front();
+      ++dispatches_this_instant_;
+      if (watchdog_.max_dispatches_per_instant != 0 &&
+          dispatches_this_instant_ > watchdog_.max_dispatches_per_instant) {
+        throw_watchdog(
+            SimError::Kind::kDispatchStorm,
+            std::to_string(dispatches_this_instant_) +
+                " dispatches at one instant (budget " +
+                std::to_string(watchdog_.max_dispatches_per_instant) +
+                "): immediate-notification livelock");
+      }
+      check_wall_clock();
       dispatch(*p);
     }
     // ---- update phase ----
@@ -268,6 +320,16 @@ StopReason Simulator::run(Time limit) {
       }
     }
     ++delta_count_;
+    ++deltas_this_instant_;
+    if (watchdog_.max_deltas_per_instant != 0 &&
+        deltas_this_instant_ > watchdog_.max_deltas_per_instant) {
+      throw_watchdog(SimError::Kind::kDeltaStorm,
+                     std::to_string(deltas_this_instant_) +
+                         " delta cycles at one instant (budget " +
+                         std::to_string(watchdog_.max_deltas_per_instant) +
+                         "): delta-notification livelock");
+    }
+    check_wall_clock();
     if (!runnable_.empty() || !update_queue_.empty()) continue;
     if (stop_requested_) return StopReason::kStopped;
 
@@ -287,7 +349,16 @@ StopReason Simulator::run(Time limit) {
                                 e.proc->wait_id_ != e.proc_wait_id)) {
         continue;  // stale entry
       }
+      if (e.t > now_) {
+        deltas_this_instant_ = 0;
+        dispatches_this_instant_ = 0;
+      }
       now_ = e.t;
+      if (now_ > watchdog_.sim_time_budget) {
+        throw_watchdog(SimError::Kind::kSimTimeBudget,
+                       "simulated time exceeded budget " +
+                           watchdog_.sim_time_budget.str());
+      }
       fire_timer_entry(e);
       advanced = true;
       // Drain co-scheduled entries at the same instant.
@@ -302,7 +373,16 @@ StopReason Simulator::run(Time limit) {
 
     // Nothing left at or before the horizon.
     if (!timers_.empty()) {
+      if (limit > now_) {
+        deltas_this_instant_ = 0;
+        dispatches_this_instant_ = 0;
+      }
       now_ = limit;
+      if (now_ > watchdog_.sim_time_budget) {
+        throw_watchdog(SimError::Kind::kSimTimeBudget,
+                       "simulated time exceeded budget " +
+                           watchdog_.sim_time_budget.str());
+      }
       return StopReason::kTimeLimit;
     }
     bool any_live = false;
@@ -319,6 +399,104 @@ std::vector<std::string> Simulator::blocked_process_names() const {
     if (!p->terminated()) out.push_back(p->name());
   }
   return out;
+}
+
+std::vector<ProcessDiagnostic> Simulator::process_diagnostics() const {
+  std::vector<ProcessDiagnostic> out;
+  for (const auto& p : processes_) {
+    if (p->terminated()) continue;
+    ProcessDiagnostic d;
+    d.name = p->name();
+    d.restarts = p->restart_count_;
+    switch (p->state_) {
+      case Process::State::kCreated:
+        d.state = "created";
+        break;
+      case Process::State::kReady:
+        d.state = "ready";
+        break;
+      case Process::State::kRunning:
+        d.state = "running";
+        break;
+      case Process::State::kWaiting:
+        d.state = "waiting";
+        break;
+      case Process::State::kTerminated:
+        d.state = "terminated";
+        break;
+    }
+    if (p->state_ == Process::State::kWaiting) {
+      if (p->waiting_event_ != nullptr) {
+        d.blocked_on = "event " + p->waiting_event_->name();
+        if (p->wake_at_ != Time::max()) {
+          d.blocked_on += " (timeout @ " + p->wake_at_.str() + ")";
+        }
+      } else if (p->wake_at_ != Time::max()) {
+        d.blocked_on = "timer @ " + p->wake_at_.str();
+      }
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void Simulator::kill(Process& p) { kill_impl(p, std::nullopt); }
+
+void Simulator::kill_and_restart(Process& p, Time restart_after) {
+  kill_impl(p, restart_after);
+}
+
+void Simulator::kill_impl(Process& p, std::optional<Time> restart_after) {
+  if (p.terminated()) return;
+  p.restart_delay_ = restart_after;
+  if (&p == running_) {
+    // Self-crash (e.g. a fault-injection hook on this process's own stack):
+    // unwind right here. run_body catches and handles the restart.
+    throw CrashUnwind{};
+  }
+  p.crash_requested_ = true;
+  if (p.state_ == Process::State::kWaiting) make_runnable(p);
+  // kReady / kCreated: the flag is observed at the next dispatch.
+}
+
+Process* Simulator::find_process(const std::string& name) {
+  for (const auto& p : processes_) {
+    if (!p->terminated() && p->name() == name) return p.get();
+  }
+  return nullptr;
+}
+
+bool Simulator::wait_for_restart(Process& p, Time delay) {
+  TimerEntry e;
+  e.t = now_ + delay;
+  e.proc = &p;
+  e.proc_wait_id = p.wait_id_;
+  schedule_timer(e);
+  p.state_ = Process::State::kWaiting;
+  p.wake_at_ = e.t;
+  swapcontext(&p.ctx_, &main_ctx_);
+  // Resumed by the restart timer — or by teardown, which must not restart.
+  return !p.kill_requested_;
+}
+
+void Simulator::check_wall_clock() {
+  if (watchdog_.wall_clock_ms == 0) return;
+  if (--wall_clock_countdown_ != 0) return;
+  wall_clock_countdown_ = kWallClockCheckStride;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - run_started_)
+                           .count();
+  if (static_cast<std::uint64_t>(elapsed) > watchdog_.wall_clock_ms) {
+    throw_watchdog(SimError::Kind::kWallClockBudget,
+                   "run() exceeded its wall-clock budget of " +
+                       std::to_string(watchdog_.wall_clock_ms) +
+                       " ms: the specification appears to hang");
+  }
+}
+
+void Simulator::throw_watchdog(SimError::Kind kind, std::string summary) {
+  throw SimError(kind, std::move(summary), now_, delta_count_,
+                 process_diagnostics());
 }
 
 void Simulator::kill_all_processes() {
@@ -345,6 +523,7 @@ void Simulator::raw_wait(Time t) {
   e.proc_wait_id = p.wait_id_;
   schedule_timer(e);
   p.state_ = Process::State::kWaiting;
+  p.wake_at_ = e.t;
   yield_to_kernel();
 }
 
@@ -359,6 +538,7 @@ void Simulator::wait_on(Event& e) {
   Process& p = current_process();
   e.waiters_.push_back({&p, p.wait_id_});
   p.state_ = Process::State::kWaiting;
+  p.waiting_event_ = &e;
   yield_to_kernel();
 }
 
@@ -372,13 +552,18 @@ bool Simulator::wait_on(Event& e, Time timeout) {
   const Time deadline = te.t;
   schedule_timer(te);
   p.state_ = Process::State::kWaiting;
+  p.waiting_event_ = &e;
+  p.wake_at_ = deadline;
   yield_to_kernel();
   // If we woke before the deadline, it was the event.
   return now_ < deadline;
 }
 
 Process& Simulator::current_process() {
-  assert(running_ != nullptr && "operation requires process context");
+  if (running_ == nullptr) {
+    throw SimError(SimError::Kind::kNoProcessContext,
+                   "operation requires process context");
+  }
   return *running_;
 }
 

@@ -2,15 +2,18 @@
 
 #include <ucontext.h>
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "kernel/error.hpp"
 #include "kernel/hooks.hpp"
 #include "kernel/time.hpp"
 
@@ -87,6 +90,9 @@ class Process {
   std::size_t id() const { return id_; }
   bool terminated() const { return state_ == State::kTerminated; }
 
+  /// Times this process crash-restarted (Simulator::kill_and_restart).
+  std::uint64_t restart_count() const { return restart_count_; }
+
   /// Scratch slot for layered libraries (the estimation library stores its
   /// per-process context here to avoid map lookups on the hot path).
   void* user_data = nullptr;
@@ -113,6 +119,14 @@ class Process {
   std::uint64_t wait_id_ = 0;  ///< bumped on every wake; stale wakeups ignored
   bool started_ = false;       ///< body entered at least once
   bool kill_requested_ = false;
+  bool crash_requested_ = false;  ///< fault-injection kill (may restart)
+  std::optional<Time> restart_delay_;
+  std::uint64_t restart_count_ = 0;
+  /// Diagnostics only: what the process is blocked on while kWaiting. The
+  /// event pointer is valid as long as the event outlives the wait — the
+  /// same lifetime rule the waiter list already imposes.
+  const Event* waiting_event_ = nullptr;
+  Time wake_at_ = Time::max();  ///< pending timer deadline (max = none)
   std::exception_ptr error_;
 };
 
@@ -125,6 +139,27 @@ enum class StopReason {
 };
 
 const char* to_string(StopReason r);
+
+/// Execution budgets that convert hangs, livelocks and runaway simulations
+/// into structured SimError diagnostics instead of a frozen process. All
+/// budgets are disabled by default; a zero / Time::max() value means
+/// "unlimited". Enforcement happens in the scheduler loop, so a tripped
+/// budget reports the state of every live process (what each is blocked on)
+/// at the moment of failure.
+struct Watchdog {
+  /// Delta cycles allowed at a single time instant (catches notify_delta
+  /// ping-pong storms that keep the simulation at one instant forever).
+  std::uint64_t max_deltas_per_instant = 0;
+  /// Process dispatches allowed at a single instant (catches immediate-notify
+  /// livelocks that never even complete a delta cycle).
+  std::uint64_t max_dispatches_per_instant = 0;
+  /// Host wall-clock budget for a single run() call, in milliseconds
+  /// (catches anything else that makes the simulator spin).
+  std::uint64_t wall_clock_ms = 0;
+  /// Simulated-time budget: unlike run(limit), exceeding it is an error,
+  /// not a pause — for specs that must converge before a known horizon.
+  Time sim_time_budget = Time::max();
+};
 
 /// The discrete-event scheduler (the role of the SystemC kernel).
 ///
@@ -157,6 +192,25 @@ class Simulator {
   /// Requests the current run() to return after the ongoing delta completes.
   void stop() { stop_requested_ = true; }
 
+  /// Installs execution budgets; a tripped budget makes run() throw a
+  /// SimError naming every live process and what it is blocked on.
+  void set_watchdog(const Watchdog& w) { watchdog_ = w; }
+  const Watchdog& watchdog() const { return watchdog_; }
+
+  // ---- fault-injection primitives ----
+
+  /// Crash-kills a live process: its coroutine stack unwinds (running the
+  /// destructors of every frame) at its next dispatch opportunity —
+  /// immediately when called on the running process. The process terminates;
+  /// it does NOT count as a clean exit (no process_finished hook).
+  void kill(Process& p);
+  /// Like kill(), but the process body re-runs from the top `restart_after`
+  /// later — the crash-and-restart model of an RTOS respawning a task.
+  void kill_and_restart(Process& p, Time restart_after);
+
+  /// The first live process with this name, or nullptr.
+  Process* find_process(const std::string& name);
+
   /// Installs the estimation-library callback (single hook; pass nullptr to
   /// remove). The kernel never times anything itself.
   void set_hook(KernelHook* hook) { hook_ = hook; }
@@ -182,6 +236,11 @@ class Simulator {
   /// After run() returned kDeadlock: names of the permanently blocked
   /// processes.
   std::vector<std::string> blocked_process_names() const;
+
+  /// State of every live process — name, scheduler state, and what it is
+  /// blocked on (event name or timer deadline). This is the payload of every
+  /// watchdog SimError and the detail behind kDeadlock.
+  std::vector<ProcessDiagnostic> process_diagnostics() const;
 
   // ---- execution tracing (untimed-vs-timed comparisons, Fig. 5) ----
 
@@ -219,6 +278,13 @@ class Simulator {
   void schedule_timer(TimerEntry e);
   void kill_all_processes();
   bool fire_timer_entry(const TimerEntry& e);  ///< true if it woke something
+  void kill_impl(Process& p, std::optional<Time> restart_after);
+  /// Parks a crashed process until its restart time; false on teardown.
+  bool wait_for_restart(Process& p, Time delay);
+  /// Periodic wall-clock budget check (amortised: probes the host clock
+  /// every kWallClockCheckStride calls).
+  void check_wall_clock();
+  [[noreturn]] void throw_watchdog(SimError::Kind kind, std::string summary);
 
   ucontext_t main_ctx_{};
   std::vector<std::unique_ptr<Process>> processes_;
@@ -236,6 +302,14 @@ class Simulator {
   KernelHook* hook_ = nullptr;
   bool exec_trace_enabled_ = false;
   std::vector<ExecRecord> exec_trace_;
+
+  // ---- watchdog bookkeeping ----
+  static constexpr std::uint64_t kWallClockCheckStride = 1024;
+  Watchdog watchdog_;
+  std::uint64_t deltas_this_instant_ = 0;
+  std::uint64_t dispatches_this_instant_ = 0;
+  std::uint64_t wall_clock_countdown_ = kWallClockCheckStride;
+  std::chrono::steady_clock::time_point run_started_;
 };
 
 // ---- SystemC-style free functions (valid in process context only) ----

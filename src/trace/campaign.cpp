@@ -1,0 +1,94 @@
+#include "trace/campaign.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "kernel/error.hpp"
+
+namespace sctrace {
+
+double mean_ci95(const Summary& s) {
+  if (s.count < 2) return 0.0;
+  return 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+}
+
+void FaultCampaign::run(std::uint64_t base_seed, std::size_t n) {
+  results_.reserve(results_.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    CampaignRunResult r;
+    try {
+      r = fn_(seed);
+      r.seed = seed;
+    } catch (const minisc::SimError& e) {
+      r = CampaignRunResult{};
+      r.seed = seed;
+      r.completed = false;
+      r.error = e.what();
+    }
+    results_.push_back(std::move(r));
+  }
+}
+
+CampaignReport FaultCampaign::report() const {
+  CampaignReport rep;
+  rep.runs = results_.size();
+  std::vector<double> makespans;
+  std::vector<double> recoveries;
+  for (const CampaignRunResult& r : results_) {
+    if (!r.completed) {
+      ++rep.failed_runs;
+      continue;
+    }
+    rep.deadline_total += r.deadline_total;
+    rep.deadline_missed += r.deadline_missed;
+    makespans.push_back(r.makespan.to_ns_d());
+    recoveries.insert(recoveries.end(), r.recovery_latencies_ns.begin(),
+                      r.recovery_latencies_ns.end());
+  }
+  if (rep.deadline_total > 0) {
+    const double p = static_cast<double>(rep.deadline_missed) /
+                     static_cast<double>(rep.deadline_total);
+    rep.miss_rate = p;
+    rep.miss_rate_ci95 =
+        1.96 * std::sqrt(p * (1.0 - p) /
+                         static_cast<double>(rep.deadline_total));
+  }
+  rep.makespan_ns = summarize(makespans);
+  rep.makespan_ci95 = mean_ci95(rep.makespan_ns);
+  rep.recovery_ns = summarize(recoveries);
+  rep.recovery_ci95 = mean_ci95(rep.recovery_ns);
+  return rep;
+}
+
+void CampaignReport::print(std::ostream& os) const {
+  os << "fault campaign: " << runs << " runs (" << failed_runs
+     << " failed)\n";
+  os << "  deadlines: " << deadline_missed << "/" << deadline_total
+     << " missed, miss rate " << miss_rate * 100.0 << "% +/- "
+     << miss_rate_ci95 * 100.0 << "%\n";
+  if (makespan_ns.count > 0) {
+    os << "  makespan:  mean " << makespan_ns.mean << " ns +/- "
+       << makespan_ci95 << " (min " << makespan_ns.min << ", max "
+       << makespan_ns.max << ", n=" << makespan_ns.count << ")\n";
+  }
+  if (recovery_ns.count > 0) {
+    os << "  recovery:  mean " << recovery_ns.mean << " ns +/- "
+       << recovery_ci95 << " (min " << recovery_ns.min << ", max "
+       << recovery_ns.max << ", n=" << recovery_ns.count << ")\n";
+  }
+}
+
+void FaultCampaign::write_csv(std::ostream& os) const {
+  os << "seed,completed,makespan_ns,deadline_total,deadline_missed,"
+        "faults_injected,recovery_samples,mean_recovery_ns,value_hash\n";
+  for (const CampaignRunResult& r : results_) {
+    const Summary rec = summarize(r.recovery_latencies_ns);
+    os << r.seed << ',' << (r.completed ? 1 : 0) << ','
+       << r.makespan.to_ns_d() << ',' << r.deadline_total << ','
+       << r.deadline_missed << ',' << r.faults_injected << ','
+       << rec.count << ',' << rec.mean << ',' << r.value_hash << '\n';
+  }
+}
+
+}  // namespace sctrace

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "kernel/time.hpp"
+#include "trace/stats.hpp"
+
+namespace sctrace {
+
+/// Outcome of one seeded run of a resilience experiment. The run function
+/// fills in whatever it measures; the campaign aggregates across seeds.
+struct CampaignRunResult {
+  std::uint64_t seed = 0;
+
+  /// False when the run threw minisc::SimError (watchdog trip, bad config):
+  /// the run is counted as failed and excluded from the timing statistics.
+  bool completed = true;
+  std::string error;  ///< the SimError message when !completed
+
+  /// End-to-end makespan of the workload (whatever the experiment defines —
+  /// typically first input to last output).
+  minisc::Time makespan;
+
+  /// Deadline accounting: of `deadline_total` checked deadlines,
+  /// `deadline_missed` were missed.
+  std::uint64_t deadline_total = 0;
+  std::uint64_t deadline_missed = 0;
+
+  /// Time from each fault instant to the system's recovery (experiment-
+  /// defined: e.g. next completed output after the fault), in ns.
+  std::vector<double> recovery_latencies_ns;
+
+  /// Faults actually applied in this run (pulses + outages + crashes +
+  /// channel faults) — for the CSV and for sanity checks.
+  std::uint64_t faults_injected = 0;
+
+  /// CaptureRegistry::value_sequence_hash of the run — equal seeds must
+  /// yield equal hashes (determinism check across repeated campaigns).
+  std::uint64_t value_hash = 0;
+};
+
+/// Aggregate view of a campaign. All ci95 fields are half-widths of normal-
+/// approximation 95% confidence intervals: 1.96 * stderr.
+struct CampaignReport {
+  std::size_t runs = 0;
+  std::size_t failed_runs = 0;
+
+  std::uint64_t deadline_total = 0;
+  std::uint64_t deadline_missed = 0;
+  double miss_rate = 0.0;       ///< missed / total across all completed runs
+  double miss_rate_ci95 = 0.0;  ///< binomial: 1.96 * sqrt(p(1-p)/n)
+
+  Summary makespan_ns;          ///< over completed runs
+  double makespan_ci95 = 0.0;   ///< 1.96 * stddev / sqrt(count)
+
+  Summary recovery_ns;          ///< over all recovery samples, all runs
+  double recovery_ci95 = 0.0;
+
+  void print(std::ostream& os) const;
+};
+
+/// Half-width of the normal-approximation 95% CI of a sample mean.
+double mean_ci95(const Summary& s);
+
+/// Resilience-campaign driver: runs one seeded experiment N times and
+/// aggregates deadline-miss rate, makespan distribution and recovery
+/// latency. The run function builds a fresh Simulator/Estimator/scenario
+/// from the seed, simulates, and returns its measurements; a minisc::SimError
+/// escaping it (e.g. a watchdog trip in a non-resilient mapping) is caught
+/// and recorded as a failed run rather than aborting the campaign — a run
+/// that hangs *is* a data point.
+class FaultCampaign {
+ public:
+  using RunFn = std::function<CampaignRunResult(std::uint64_t seed)>;
+
+  explicit FaultCampaign(RunFn fn) : fn_(std::move(fn)) {}
+
+  /// Runs seeds base_seed .. base_seed + n - 1.
+  void run(std::uint64_t base_seed, std::size_t n);
+
+  const std::vector<CampaignRunResult>& results() const { return results_; }
+  CampaignReport report() const;
+
+  /// One row per run: seed, completed, makespan, deadlines, faults, hash.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  RunFn fn_;
+  std::vector<CampaignRunResult> results_;
+};
+
+}  // namespace sctrace

@@ -1,0 +1,136 @@
+#include "fault/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace scfault {
+namespace {
+
+using minisc::Time;
+
+ScenarioConfig demo_config() {
+  ScenarioConfig cfg;
+  cfg.horizon = Time::us(100);
+  cfg.pulses.push_back({"cpu0", 10, 50.0, 150.0});
+  cfg.pulses.push_back({"dsp", 4, 10.0, 20.0});
+  cfg.outages.push_back({"cpu0", 3, Time::us(1), Time::us(5)});
+  cfg.channel_faults.push_back(
+      {"link", 0.1, 0.05, 0.2, Time::ns(10), Time::ns(500)});
+  cfg.crashes.push_back({"worker", Time::us(30), Time::us(1)});
+  cfg.crashes.push_back({"worker", Time::us(10), Time::us(1)});
+  return cfg;
+}
+
+TEST(Scenario, SameSeedYieldsIdenticalTimeline) {
+  FaultScenario a(demo_config(), 1234);
+  FaultScenario b(demo_config(), 1234);
+  ASSERT_EQ(a.pulses().size(), b.pulses().size());
+  for (std::size_t i = 0; i < a.pulses().size(); ++i) {
+    EXPECT_EQ(a.pulses()[i].resource, b.pulses()[i].resource);
+    EXPECT_EQ(a.pulses()[i].at, b.pulses()[i].at);
+    EXPECT_DOUBLE_EQ(a.pulses()[i].extra_cycles, b.pulses()[i].extra_cycles);
+  }
+  ASSERT_EQ(a.outages().size(), b.outages().size());
+  for (std::size_t i = 0; i < a.outages().size(); ++i) {
+    EXPECT_EQ(a.outages()[i].start, b.outages()[i].start);
+    EXPECT_EQ(a.outages()[i].length, b.outages()[i].length);
+  }
+}
+
+TEST(Scenario, DifferentSeedsYieldDifferentTimelines) {
+  FaultScenario a(demo_config(), 1);
+  FaultScenario b(demo_config(), 2);
+  ASSERT_EQ(a.pulses().size(), b.pulses().size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.pulses().size(); ++i) {
+    if (a.pulses()[i].at != b.pulses()[i].at) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Scenario, DrawsRespectSpecBounds) {
+  FaultScenario sc(demo_config(), 99);
+  EXPECT_EQ(sc.pulses().size(), 14u);  // 10 + 4
+  for (const Pulse& p : sc.pulses()) {
+    EXPECT_LT(p.at, Time::us(100));
+    if (p.resource == "cpu0") {
+      EXPECT_GE(p.extra_cycles, 50.0);
+      EXPECT_LE(p.extra_cycles, 150.0);
+    } else {
+      EXPECT_GE(p.extra_cycles, 10.0);
+      EXPECT_LE(p.extra_cycles, 20.0);
+    }
+  }
+  for (const Outage& o : sc.outages()) {
+    EXPECT_GE(o.length, Time::us(1));
+    EXPECT_LE(o.length, Time::us(5));
+  }
+}
+
+TEST(Scenario, TimelinesAreSorted) {
+  FaultScenario sc(demo_config(), 7);
+  EXPECT_TRUE(std::is_sorted(
+      sc.pulses().begin(), sc.pulses().end(),
+      [](const Pulse& a, const Pulse& b) { return a.at < b.at; }));
+  EXPECT_TRUE(std::is_sorted(
+      sc.outages().begin(), sc.outages().end(),
+      [](const Outage& a, const Outage& b) { return a.start < b.start; }));
+  // Crashes were given out of order in the config; the scenario sorts them.
+  ASSERT_EQ(sc.crashes().size(), 2u);
+  EXPECT_EQ(sc.crashes()[0].at, Time::us(10));
+  EXPECT_EQ(sc.crashes()[1].at, Time::us(30));
+  const auto times = sc.fault_times();
+  EXPECT_EQ(times.size(), 14u + 3u + 2u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+TEST(Scenario, ChannelStreamDependsOnlyOnSeedAndName) {
+  FaultScenario a(demo_config(), 5);
+  ScenarioConfig other = demo_config();
+  other.pulses.clear();  // unrelated changes must not move channel streams
+  FaultScenario b(other, 5);
+  Rng ra = a.channel_stream("link");
+  Rng rb = b.channel_stream("link");
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(ra.next(), rb.next());
+  Rng rc = a.channel_stream("other_link");
+  Rng rd = a.channel_stream("link");
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) {
+    if (rc.next() != rd.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Scenario, ExactChannelSpecBeatsWildcard) {
+  ScenarioConfig cfg;
+  cfg.horizon = Time::us(1);
+  cfg.channel_faults.push_back({"*", 0.5, 0.0, 0.0, Time::zero(), Time::zero()});
+  cfg.channel_faults.push_back(
+      {"link", 0.1, 0.0, 0.0, Time::zero(), Time::zero()});
+  FaultScenario sc(cfg, 1);
+  ASSERT_NE(sc.channel_spec("link"), nullptr);
+  EXPECT_DOUBLE_EQ(sc.channel_spec("link")->drop_p, 0.1);
+  ASSERT_NE(sc.channel_spec("anything"), nullptr);
+  EXPECT_DOUBLE_EQ(sc.channel_spec("anything")->drop_p, 0.5);
+  ScenarioConfig none;
+  none.horizon = Time::us(1);
+  FaultScenario empty(none, 1);
+  EXPECT_EQ(empty.channel_spec("link"), nullptr);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const Time t = rng.time_in(Time::ns(10), Time::ns(20));
+    EXPECT_GE(t, Time::ns(10));
+    EXPECT_LE(t, Time::ns(20));
+  }
+  EXPECT_EQ(rng.time_in(Time::ns(5), Time::ns(5)), Time::ns(5));
+}
+
+}  // namespace
+}  // namespace scfault

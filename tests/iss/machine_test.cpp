@@ -333,6 +333,20 @@ TEST(Cache, ConflictingLinesEvict) {
   EXPECT_EQ(c.access(0), 10u);  // evicted: miss again
 }
 
+TEST(Cache, NonPowerOfTwoGeometryIsRejected) {
+  // The index/offset math is mask-based; a release build with a vanished
+  // assert would silently alias lines, so the ctor rejects bad geometry.
+  EXPECT_THROW(
+      DirectMappedCache({.lines = 3, .line_bytes = 16, .miss_penalty = 10}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      DirectMappedCache({.lines = 4, .line_bytes = 12, .miss_penalty = 10}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      DirectMappedCache({.lines = 0, .line_bytes = 16, .miss_penalty = 10}),
+      std::invalid_argument);
+}
+
 TEST(Cache, HitRateComputed) {
   DirectMappedCache c({.lines = 2, .line_bytes = 8, .miss_penalty = 5});
   c.access(0);

@@ -1,0 +1,95 @@
+#include "trace/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "kernel/error.hpp"
+
+namespace sctrace {
+namespace {
+
+using minisc::Time;
+
+TEST(Campaign, RunsEverySeedAndAggregates) {
+  FaultCampaign campaign([](std::uint64_t seed) {
+    CampaignRunResult r;
+    r.makespan = Time::us(100 + seed % 3);  // 100, 101, 102 us cycling
+    r.deadline_total = 10;
+    r.deadline_missed = (seed % 2 == 0) ? 1 : 0;
+    r.recovery_latencies_ns = {100.0, 200.0};
+    r.faults_injected = 4;
+    return r;
+  });
+  campaign.run(0, 10);
+  ASSERT_EQ(campaign.results().size(), 10u);
+  EXPECT_EQ(campaign.results()[3].seed, 3u);
+
+  const CampaignReport rep = campaign.report();
+  EXPECT_EQ(rep.runs, 10u);
+  EXPECT_EQ(rep.failed_runs, 0u);
+  EXPECT_EQ(rep.deadline_total, 100u);
+  EXPECT_EQ(rep.deadline_missed, 5u);
+  EXPECT_DOUBLE_EQ(rep.miss_rate, 0.05);
+  EXPECT_NEAR(rep.miss_rate_ci95, 1.96 * std::sqrt(0.05 * 0.95 / 100.0),
+              1e-12);
+  EXPECT_EQ(rep.makespan_ns.count, 10u);
+  EXPECT_EQ(rep.recovery_ns.count, 20u);
+  EXPECT_DOUBLE_EQ(rep.recovery_ns.mean, 150.0);
+  EXPECT_GT(rep.makespan_ci95, 0.0);
+}
+
+TEST(Campaign, SimErrorBecomesFailedRunNotAbort) {
+  FaultCampaign campaign([](std::uint64_t seed) -> CampaignRunResult {
+    if (seed == 2) {
+      throw minisc::SimError(minisc::SimError::Kind::kWallClockBudget,
+                             "hung mapping");
+    }
+    CampaignRunResult r;
+    r.makespan = Time::us(10);
+    r.deadline_total = 5;
+    return r;
+  });
+  campaign.run(0, 4);
+  const CampaignReport rep = campaign.report();
+  EXPECT_EQ(rep.runs, 4u);
+  EXPECT_EQ(rep.failed_runs, 1u);
+  EXPECT_FALSE(campaign.results()[2].completed);
+  EXPECT_NE(campaign.results()[2].error.find("hung mapping"),
+            std::string::npos);
+  // Failed runs are excluded from timing statistics but visible in the CSV.
+  EXPECT_EQ(rep.makespan_ns.count, 3u);
+  EXPECT_EQ(rep.deadline_total, 15u);
+}
+
+TEST(Campaign, CsvHasOneRowPerRun) {
+  FaultCampaign campaign([](std::uint64_t seed) {
+    CampaignRunResult r;
+    r.makespan = Time::ns(500);
+    r.value_hash = 0xabcu + seed;
+    return r;
+  });
+  campaign.run(10, 3);
+  std::ostringstream os;
+  campaign.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("seed,completed,makespan_ns"), std::string::npos);
+  EXPECT_NE(csv.find("\n10,1,500"), std::string::npos);
+  EXPECT_NE(csv.find("\n12,1,500"), std::string::npos);
+  // header + 3 rows
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+TEST(Campaign, MeanCi95MatchesFormula) {
+  Summary s;
+  s.count = 25;
+  s.stddev = 10.0;
+  EXPECT_NEAR(mean_ci95(s), 1.96 * 10.0 / 5.0, 1e-12);
+  Summary tiny;
+  tiny.count = 1;
+  EXPECT_DOUBLE_EQ(mean_ci95(tiny), 0.0);
+}
+
+}  // namespace
+}  // namespace sctrace
