@@ -64,7 +64,7 @@ scfault::ScenarioConfig fault_model() {
   cfg.horizon = Time::us(300);  // faults strike while frames are in flight
   // Lossy inter-stage links: 5% drop, 2% duplicate, 10% delayed 1-5 us.
   cfg.channel_faults.push_back(
-      {"*", 0.05, 0.02, 0.10, Time::us(1), Time::us(5)});
+      {"*", 0.05, 0.02, 0.10, Time::us(1), Time::us(5), {}});
   // Transient slowdowns and one outage window on the primary CPU.
   cfg.pulses.push_back({"cpu0", 4, 500.0, 2000.0});
   cfg.outages.push_back({"cpu0", 1, Time::us(20), Time::us(50)});

@@ -104,7 +104,7 @@ void demo_lossy_channel() {
   scfault::ScenarioConfig cfg;
   cfg.horizon = Time::us(100);
   cfg.channel_faults.push_back(
-      {"link", 0.3, 0.1, 0.0, Time::zero(), Time::zero()});
+      {"link", 0.3, 0.1, 0.0, Time::zero(), Time::zero(), {}});
   scfault::FaultScenario scenario(cfg, /*seed=*/2024);
 
   minisc::Simulator sim;
@@ -142,7 +142,7 @@ void demo_campaign() {
     scfault::ScenarioConfig cfg;
     cfg.horizon = Time::us(50);
     cfg.channel_faults.push_back(
-        {"data", 0.15, 0.0, 0.1, Time::us(1), Time::us(4)});
+        {"data", 0.15, 0.0, 0.1, Time::us(1), Time::us(4), {}});
     cfg.pulses.push_back({"cpu", 2, 100.0, 400.0});
     scfault::FaultScenario scenario(cfg, seed);
 

@@ -31,6 +31,13 @@ struct Stamp {
 /// - max_ready: the running DAG critical path. This is the HW best case
 ///   ("critical path of the sequence of operations", §3).
 /// - dfg: optional operation graph for the behavioural-synthesis substitute.
+namespace detail {
+/// Forwards to Simulator::probe_wall_clock() (defined in estimator.cpp so
+/// this header stays free of the kernel include): converts an unbounded
+/// compute segment into a kWallClockBudget SimError instead of a hang.
+void annotation_watchdog_probe();
+}  // namespace detail
+
 struct SegmentAccum {
   const CostTable* table = nullptr;
   bool track_ready = false;  ///< HW resources propagate value ready-times
@@ -40,6 +47,10 @@ struct SegmentAccum {
   double max_ready = 0.0;
   std::uint64_t op_count = 0;
   std::array<std::uint64_t, kNumOps> op_histogram{};
+  /// Cumulative cycles charged by fault injection (pulse glitches) — like
+  /// op_histogram this survives reset(): it feeds the process's energy
+  /// figure, not any single segment's time.
+  double fault_cycles = 0.0;
   std::uint64_t epoch = 1;
   Dfg dfg;
 
@@ -58,6 +69,11 @@ struct SegmentAccum {
     sum_cycles += lat;
     ++op_count;
     ++op_histogram[static_cast<std::size_t>(op)];
+    // A segment that never reaches a node never passes through the
+    // scheduler, so the kernel's wall-clock watchdog would sleep through an
+    // in-segment hang; probe it from here, amortised to every 4096 charges
+    // (op_count resets per segment — only long segments ever probe).
+    if ((op_count & 0xFFFu) == 0u) detail::annotation_watchdog_probe();
     return lat;
   }
 };

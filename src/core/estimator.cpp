@@ -7,6 +7,16 @@ namespace scperf {
 
 thread_local SegmentAccum* tl_accum = nullptr;
 
+namespace detail {
+
+void annotation_watchdog_probe() {
+  if (minisc::Simulator* sim = minisc::Simulator::current_or_null()) {
+    sim->probe_wall_clock();
+  }
+}
+
+}  // namespace detail
+
 Estimator::Estimator(minisc::Simulator& sim) : sim_(sim) {
   if (sim_.hook() != nullptr) {
     throw std::logic_error("scperf: simulator already has a hook installed");
@@ -183,9 +193,15 @@ void Estimator::close_segment(ProcessCtx& ctx, const std::string& to) {
   } else if (!delay.is_zero()) {
     // Parallel resource: the process simply resumes `delay` after the
     // maximum of its previous segment end and its awakening event — both of
-    // which are "now" by construction.
+    // which are "now" by construction. Downtime windows (HW outage
+    // injection) pause progress, so the occupied interval stretches by
+    // exactly the downtime it overlaps — the Tmin/Tmax estimate itself is
+    // untouched, only its placement on the timeline.
     r.add_busy(delay);
-    sim_.raw_wait(delay);
+    const minisc::Time start = sim_.now();
+    const minisc::Time finish = r.finish_over_downtime(start, delay);
+    r.add_stalled(finish - start - delay);
+    sim_.raw_wait(finish - start);
   }
 
   a.reset();
@@ -254,10 +270,17 @@ void Estimator::back_annotate_sw(ProcessCtx& ctx, SwResource& cpu,
 
 namespace {
 
+/// Energy of the fault cycles charged into this process's accumulator
+/// (pulse glitches re-executed as ordinary work): priced per cycle, since a
+/// pulse has no operation breakdown.
+double fault_energy_of(const SegmentAccum& accum, const Resource& r) {
+  return accum.fault_cycles * r.fault_energy_per_cycle_pj();
+}
+
 double energy_of(const SegmentAccum& accum, const Resource& r) {
-  if (!r.energy_table().has_value()) return 0.0;
+  double total = fault_energy_of(accum, r);
+  if (!r.energy_table().has_value()) return total;
   const EnergyTable& pj = *r.energy_table();
-  double total = 0.0;
   for (std::size_t i = 0; i < kNumOps; ++i) {
     total += static_cast<double>(accum.op_histogram[i]) *
              pj[static_cast<Op>(i)];
@@ -366,6 +389,34 @@ double Estimator::process_energy_pj(const std::string& process_name) const {
     if (ctx->name == process_name) return energy_of(ctx->accum, *ctx->resource);
   }
   return 0.0;
+}
+
+double Estimator::process_fault_energy_pj(
+    const std::string& process_name) const {
+  for (const auto& ctx : contexts_) {
+    if (ctx->name == process_name) {
+      return fault_energy_of(ctx->accum, *ctx->resource);
+    }
+  }
+  return 0.0;
+}
+
+double Estimator::fault_energy_pj() const {
+  double total = 0.0;
+  for (const auto& ctx : contexts_) {
+    total += fault_energy_of(ctx->accum, *ctx->resource);
+  }
+  for (const auto& r : resources_) total += r->fault_energy_pj();
+  return total;
+}
+
+double Estimator::total_energy_pj() const {
+  double total = 0.0;
+  for (const auto& ctx : contexts_) {
+    total += energy_of(ctx->accum, *ctx->resource);
+  }
+  for (const auto& r : resources_) total += r->fault_energy_pj();
+  return total;
 }
 
 std::vector<SegmentStats> Estimator::segment_stats(

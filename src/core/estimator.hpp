@@ -84,9 +84,24 @@ class Estimator final : public minisc::KernelHook {
   double process_cycles(const std::string& process_name) const;
 
   /// Estimated energy of one process in picojoules: the dot product of its
-  /// cumulative operation histogram with its resource's energy table.
+  /// cumulative operation histogram with its resource's energy table, plus
+  /// any fault cycles priced at the resource's fault-energy rate.
   /// Zero when the resource has no energy characterisation.
   double process_energy_pj(const std::string& process_name) const;
+
+  /// The fault-injection share of process_energy_pj: pulse glitch cycles
+  /// charged into this process, priced at its resource's per-cycle fault
+  /// energy rate (set_fault_energy_per_cycle_pj). Campaigns report this as
+  /// the energy overhead of recovery.
+  double process_fault_energy_pj(const std::string& process_name) const;
+
+  /// Total fault energy across the platform: per-process pulse charges plus
+  /// resource-level outage lockup cycles.
+  double fault_energy_pj() const;
+
+  /// Total estimated energy across processes and resource-level fault
+  /// charges — the campaign CSV's energy column.
+  double total_energy_pj() const;
 
   /// Per-segment stats of one process, ordered by first execution.
   std::vector<SegmentStats> segment_stats(

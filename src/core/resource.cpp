@@ -1,5 +1,6 @@
 #include "core/resource.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -30,6 +31,49 @@ double Resource::utilization(minisc::Time total) const {
   if (total.is_zero()) return 0.0;
   return static_cast<double>(busy_time_.to_ps()) /
          static_cast<double>(total.to_ps());
+}
+
+void Resource::add_downtime(minisc::Time start, minisc::Time end) {
+  if (end <= start) return;
+  downtime_.emplace_back(start, end);
+  std::sort(downtime_.begin(), downtime_.end());
+  // Merge overlapping / adjacent windows so the walk in
+  // finish_over_downtime never revisits an instant.
+  std::vector<std::pair<minisc::Time, minisc::Time>> merged;
+  for (const auto& w : downtime_) {
+    if (!merged.empty() && w.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, w.second);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  downtime_ = std::move(merged);
+}
+
+minisc::Time Resource::downtime_stall_end(minisc::Time t) const {
+  for (const auto& [s, e] : downtime_) {
+    if (s > t) break;
+    if (t < e) return e;
+  }
+  return t;
+}
+
+minisc::Time Resource::finish_over_downtime(minisc::Time start,
+                                            minisc::Time work) const {
+  minisc::Time t = start;
+  minisc::Time remaining = work;
+  for (const auto& [s, e] : downtime_) {
+    if (e <= t) continue;
+    if (s <= t) {
+      t = e;  // currently down: no progress until the window closes
+      continue;
+    }
+    const minisc::Time uptime = s - t;
+    if (uptime >= remaining) return t + remaining;
+    remaining -= uptime;
+    t = e;
+  }
+  return t + remaining;
 }
 
 const char* to_string(SchedulingPolicy p) {

@@ -4,6 +4,8 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <list>
 
@@ -57,6 +59,45 @@ class Resource {
 
   void add_busy(minisc::Time t) { busy_time_ += t; }
 
+  // ---- downtime windows (fault injection on parallel / ENV resources) ----
+
+  /// Registers [start, end) as resource downtime: no segment progress while
+  /// a window is open. Windows may be added in any order; overlapping
+  /// windows merge. SW resources use the busy_until claim mechanism instead
+  /// — the estimator consults downtime only for HW back-annotation, and the
+  /// fault injector for ENV node stalls.
+  void add_downtime(minisc::Time start, minisc::Time end);
+  const std::vector<std::pair<minisc::Time, minisc::Time>>& downtime() const {
+    return downtime_;
+  }
+  /// End of the downtime window containing `t`, or `t` when the resource is
+  /// up at `t`.
+  minisc::Time downtime_stall_end(minisc::Time t) const;
+  /// Completion instant of `work` uptime starting at `start`: progress
+  /// pauses inside every downtime window, so the critical-path interval of
+  /// a HW segment stretches by exactly the downtime it overlaps.
+  minisc::Time finish_over_downtime(minisc::Time start,
+                                    minisc::Time work) const;
+  /// Total downtime overlapping segment executions (observability).
+  minisc::Time stalled_time() const { return stalled_time_; }
+  void add_stalled(minisc::Time t) { stalled_time_ += t; }
+
+  // ---- fault energy (recovery overhead accounting) ----
+
+  /// Energy drawn per cycle of fault activity (pulse glitch cycles, outage
+  /// lockup cycles), in picojoules. Zero (the default) keeps fault cycles
+  /// out of the energy books entirely.
+  void set_fault_energy_per_cycle_pj(double pj) { fault_pj_per_cycle_ = pj; }
+  double fault_energy_per_cycle_pj() const { return fault_pj_per_cycle_; }
+
+  /// Fault cycles charged at resource level (outage lockups; pulse cycles
+  /// are charged per process through the segment accumulators).
+  void add_fault_cycles(double c) { fault_cycles_ += c; }
+  double fault_cycles() const { return fault_cycles_; }
+  double fault_energy_pj() const {
+    return fault_cycles_ * fault_pj_per_cycle_;
+  }
+
  private:
   std::string name_;
   ResourceKind kind_;
@@ -64,6 +105,10 @@ class Resource {
   CostTable table_;
   std::optional<EnergyTable> energy_;
   minisc::Time busy_time_;
+  minisc::Time stalled_time_;
+  std::vector<std::pair<minisc::Time, minisc::Time>> downtime_;  ///< sorted
+  double fault_pj_per_cycle_ = 0.0;
+  double fault_cycles_ = 0.0;
 };
 
 /// How a sequential resource picks the next segment when several processes

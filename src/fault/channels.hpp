@@ -14,15 +14,22 @@ namespace scfault {
 namespace detail {
 
 /// Per-channel fault state shared by the wrappers: the spec applying to this
-/// channel (nullptr = fault-free) and its private deterministic stream.
-/// Decisions are drawn per write in channel-local order, so a channel's
-/// fault sequence depends only on (scenario seed, channel name, number of
-/// prior writes on this channel) — never on scheduling order elsewhere.
+/// channel (nullptr = fault-free), its private deterministic stream, and —
+/// when the spec engages the Gilbert–Elliott burst model — the current chain
+/// state. Decisions are drawn per write in channel-local order, so a
+/// channel's fault sequence depends only on (scenario seed, channel name,
+/// number of prior writes on this channel) — never on scheduling order
+/// elsewhere. Draw order per write is fixed: emission first, then (burst
+/// specs only) the state transition for the next write; delay lengths draw
+/// their extra variate in between. Every draw is tallied into `counts` by
+/// the state it was made in — the sufficient statistics channel_log_lr needs.
 class ChannelFaults {
  public:
   void attach(const FaultScenario& scenario, const std::string& name) {
     spec_ = scenario.channel_spec(name);
     rng_ = scenario.channel_stream(name);
+    bad_ = false;
+    counts = ChannelFaultCounts{};
   }
   void detach() { spec_ = nullptr; }
   bool active() const { return spec_ != nullptr; }
@@ -32,23 +39,52 @@ class ChannelFaults {
   /// Draws the fate of the next write (kDeliver when fault-free).
   Action draw(minisc::Time& delay_out) {
     if (spec_ == nullptr) return Action::kDeliver;
-    const double u = rng_.uniform();
-    if (u < spec_->drop_p) return Action::kDrop;
-    if (u < spec_->drop_p + spec_->dup_p) return Action::kDuplicate;
-    if (u < spec_->drop_p + spec_->dup_p + spec_->delay_p) {
-      delay_out = rng_.time_in(spec_->min_delay, spec_->max_delay);
-      return Action::kDelay;
+    const std::size_t s =
+        bad_ ? ChannelFaultCounts::kBad : ChannelFaultCounts::kGood;
+    double drop = spec_->drop_p, dup = spec_->dup_p, delay = spec_->delay_p;
+    if (bad_) {
+      drop = spec_->burst->bad_drop_p;
+      dup = spec_->burst->bad_dup_p;
+      delay = spec_->burst->bad_delay_p;
     }
-    return Action::kDeliver;
+    ++counts.draws[s];
+    const double u = rng_.uniform();
+    Action action = Action::kDeliver;
+    if (u < drop) {
+      action = Action::kDrop;
+      ++counts.dropped[s];
+    } else if (u < drop + dup) {
+      action = Action::kDuplicate;
+      ++counts.duplicated[s];
+    } else if (u < drop + dup + delay) {
+      delay_out = rng_.time_in(spec_->min_delay, spec_->max_delay);
+      action = Action::kDelay;
+      ++counts.delayed[s];
+    } else {
+      ++counts.delivered[s];
+    }
+    if (spec_->burst.has_value()) {
+      const double v = rng_.uniform();
+      if (!bad_ && v < spec_->burst->p_enter) {
+        bad_ = true;
+        ++counts.to_bad;
+      } else if (bad_ && v < spec_->burst->p_exit) {
+        bad_ = false;
+        ++counts.to_good;
+      }
+    }
+    return action;
   }
 
   std::uint64_t dropped = 0;
   std::uint64_t duplicated = 0;
   std::uint64_t delayed = 0;
+  ChannelFaultCounts counts;
 
  private:
   const ChannelFaultSpec* spec_ = nullptr;
   Rng rng_{0};
+  bool bad_ = false;  ///< Gilbert–Elliott state (channels start good)
 };
 
 }  // namespace detail
@@ -140,6 +176,8 @@ class FaultyFifo {
   std::uint64_t dropped() const { return faults_.dropped; }
   std::uint64_t duplicated() const { return faults_.duplicated; }
   std::uint64_t delayed() const { return faults_.delayed; }
+  /// Per-state draw record — feed to channel_log_lr for importance weights.
+  const ChannelFaultCounts& fault_counts() const { return faults_.counts; }
 
  private:
   minisc::Fifo<T> inner_;
@@ -192,6 +230,8 @@ class FaultyRendezvous {
   std::uint64_t dropped() const { return faults_.dropped; }
   std::uint64_t duplicated() const { return faults_.duplicated; }
   std::uint64_t delayed() const { return faults_.delayed; }
+  /// Per-state draw record — feed to channel_log_lr for importance weights.
+  const ChannelFaultCounts& fault_counts() const { return faults_.counts; }
 
  private:
   minisc::Rendezvous<T> inner_;

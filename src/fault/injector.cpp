@@ -21,20 +21,38 @@ FaultInjector::~FaultInjector() {
 }
 
 void FaultInjector::spawn_drivers() {
-  if (!scenario_.outages().empty()) {
+  // HW and ENV outage windows are fully determined at t = 0: register them
+  // as resource downtime up front (the estimator stretches HW segments over
+  // the windows; node_reached stalls ENV processes inside one). Only SW
+  // outages need a driver, because their effect rides the busy_until claim
+  // protocol. Either way the lockup cycles are charged as fault energy.
+  bool any_sw = false;
+  for (const Outage& o : scenario_.outages()) {
+    scperf::Resource* r = est_.find_resource(o.resource);
+    if (r == nullptr) continue;  // unknown target: no effect
+    if (r->kind() == scperf::ResourceKind::kSw) {
+      any_sw = true;
+      continue;
+    }
+    r->add_downtime(o.start, o.start + o.length);
+    r->add_fault_cycles(o.length.to_ns_d() / r->period_ns());
+    ++outages_applied_;
+  }
+  if (any_sw) {
     sim_.spawn("fault.outages", [this] {
       for (const Outage& o : scenario_.outages()) {
         const minisc::Time t = sim_.now();
         if (o.start > t) sim_.raw_wait(o.start - t);
         auto* sw = dynamic_cast<scperf::SwResource*>(
             est_.find_resource(o.resource));
-        if (sw == nullptr) continue;  // unknown or non-SW target: no effect
+        if (sw == nullptr) continue;  // HW/ENV: already registered above
         // Claims require busy_until <= now, so pinning it to the window end
         // stalls every occupation issued inside the window. An occupation
         // already running keeps its own (earlier) raw_wait and finishes, but
         // its successor on the same processor waits out the outage too.
         const minisc::Time end = o.start + o.length;
         if (sw->busy_until() < end) sw->set_busy_until(end);
+        sw->add_fault_cycles(o.length.to_ns_d() / sw->period_ns());
         ++outages_applied_;
       }
     });
@@ -77,13 +95,45 @@ void FaultInjector::drain_pulses(minisc::Process& p) {
     const Pulse& pulse = pulses[i];
     if (pulse.at > now) break;
     if (consumed_[i] || pulse.resource != r->name()) continue;
+    // Charging both the sequential sum and the critical path stretches a HW
+    // segment's [Tmin, Tmax] interval by the full pulse, so the estimate
+    // T = Tmin + (Tmax - Tmin) * k grows by extra_cycles for every k.
     acc->sum_cycles += pulse.extra_cycles;
     if (acc->track_ready) acc->max_ready += pulse.extra_cycles;
+    acc->fault_cycles += pulse.extra_cycles;
     consumed_[i] = true;
     ++pulses_injected_;
     extra_cycles_injected_ += pulse.extra_cycles;
   }
   while (next_pulse_ < pulses.size() && consumed_[next_pulse_]) ++next_pulse_;
+}
+
+void FaultInjector::apply_env_faults(minisc::Process& p,
+                                     scperf::Resource& env) {
+  // Environment components are untimed, so there is no segment to charge:
+  // a due pulse becomes a direct stall of its cycle cost at the ENV clock,
+  // and an open outage window parks the process until the window closes —
+  // the testbench goes quiet exactly while its resource is down.
+  const auto& pulses = scenario_.pulses();
+  minisc::Time stall;
+  const minisc::Time now = sim_.now();
+  for (std::size_t i = next_pulse_; i < pulses.size(); ++i) {
+    const Pulse& pulse = pulses[i];
+    if (pulse.at > now) break;
+    if (consumed_[i] || pulse.resource != env.name()) continue;
+    stall += env.cycles_to_time(pulse.extra_cycles);
+    env.add_fault_cycles(pulse.extra_cycles);
+    consumed_[i] = true;
+    ++pulses_injected_;
+    extra_cycles_injected_ += pulse.extra_cycles;
+  }
+  while (next_pulse_ < pulses.size() && consumed_[next_pulse_]) ++next_pulse_;
+  const minisc::Time outage_end = env.downtime_stall_end(now);
+  if (outage_end > now) {
+    env.add_stalled(outage_end - now);
+    stall += outage_end - now;
+  }
+  if (!stall.is_zero()) sim_.raw_wait(stall);
 }
 
 void FaultInjector::process_started(minisc::Process& p) {
@@ -100,7 +150,12 @@ void FaultInjector::process_resumed(minisc::Process& p) {
 
 void FaultInjector::node_reached(minisc::Process& p, minisc::NodeKind kind,
                                  const char* label) {
-  drain_pulses(p);
+  scperf::Resource* r = est_.mapped_resource(p.name());
+  if (r != nullptr && r->kind() == scperf::ResourceKind::kEnv) {
+    apply_env_faults(p, *r);
+  } else {
+    drain_pulses(p);
+  }
   if (inner_ != nullptr) inner_->node_reached(p, kind, label);
 }
 

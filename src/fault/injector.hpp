@@ -24,9 +24,14 @@ namespace scfault {
 ///    sees it. The back-annotation then naturally extends the occupation
 ///    (SW) or the estimate (HW) — statistics, contention and energy all see
 ///    the fault as ordinary work.
-///  - Outages: a driver process pins the SW resource's busy_until to the
+///  - Outages: on SW resources a driver process pins busy_until to the
 ///    outage end, so every occupation request issued during the window
-///    stalls until it closes (in-flight occupations complete).
+///    stalls until it closes (in-flight occupations complete). On HW and
+///    ENV resources the window is registered as resource downtime at
+///    construction: HW segments overlapping the window stretch by the
+///    overlap during back-annotation, ENV processes reaching a node inside
+///    the window stall until it closes. Outage lockup cycles are charged as
+///    resource-level fault energy; pulse cycles as per-process fault energy.
 ///  - Crashes: a driver process calls Simulator::kill / kill_and_restart at
 ///    the scheduled times.
 ///  - Channel faults are NOT applied here: they live in FaultyFifo /
@@ -34,7 +39,9 @@ namespace scfault {
 ///    scenario (see fault/channels.hpp).
 ///
 /// Construct AFTER the estimator (declaration order: Simulator, Estimator,
-/// FaultInjector) and before run(). The destructor restores the inner hook.
+/// FaultInjector), after the platform's resources are added (HW/ENV outage
+/// windows are registered at construction), and before run(). The
+/// destructor restores the inner hook.
 /// When no injector is constructed, fault support costs nothing: the kernel
 /// and estimator run exactly the code they ran before the subsystem existed.
 class FaultInjector final : public minisc::KernelHook {
@@ -65,6 +72,7 @@ class FaultInjector final : public minisc::KernelHook {
  private:
   void spawn_drivers();
   void drain_pulses(minisc::Process& p);
+  void apply_env_faults(minisc::Process& p, scperf::Resource& env);
 
   minisc::Simulator& sim_;
   scperf::Estimator& est_;

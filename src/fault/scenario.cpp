@@ -1,6 +1,8 @@
 #include "fault/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace scfault {
 
@@ -52,6 +54,31 @@ FaultScenario::FaultScenario(ScenarioConfig config, std::uint64_t seed)
       outages_.push_back(std::move(o));
     }
   }
+  // Storms draw from their own sub-stream, so adding a storm spec never
+  // moves the independent outage timeline (and vice versa). Cluster sizes
+  // use repeated Bernoulli draws instead of an inverse-CDF so the timeline
+  // needs no transcendental math — platform-stable like everything else.
+  Rng storm_rng(mix_seed(seed_, fnv1a("storms")));
+  for (const StormSpec& spec : config_.storms) {
+    Rng rng(mix_seed(storm_rng.next(), fnv1a(spec.resource)));
+    for (std::size_t i = 0; i < spec.count; ++i) {
+      const minisc::Time centre =
+          rng.time_in(minisc::Time::zero(), config_.horizon);
+      std::size_t members = 1;
+      while (members < spec.max_cluster && rng.uniform() < spec.continue_p) {
+        ++members;
+      }
+      for (std::size_t m = 0; m < members; ++m) {
+        Outage o;
+        o.resource = spec.resource;
+        o.start = (m == 0) ? centre
+                           : centre + rng.time_in(minisc::Time::zero(),
+                                                  spec.window);
+        o.length = rng.time_in(spec.min_length, spec.max_length);
+        outages_.push_back(std::move(o));
+      }
+    }
+  }
   std::stable_sort(
       outages_.begin(), outages_.end(),
       [](const Outage& a, const Outage& b) { return a.start < b.start; });
@@ -70,6 +97,69 @@ const ChannelFaultSpec* FaultScenario::channel_spec(
     if (spec.channel == "*") wildcard = &spec;
   }
   return wildcard;
+}
+
+namespace {
+
+/// Per-state categorical emission probabilities of a ChannelFaultSpec:
+/// {drop, duplicate, delay, deliver}. A spec without `burst` never reaches
+/// the bad state, so its bad-state row is irrelevant (p_enter = 0 below).
+std::array<double, 4> emission(const ChannelFaultSpec& spec, bool bad) {
+  double drop = spec.drop_p, dup = spec.dup_p, delay = spec.delay_p;
+  if (bad && spec.burst.has_value()) {
+    drop = spec.burst->bad_drop_p;
+    dup = spec.burst->bad_dup_p;
+    delay = spec.burst->bad_delay_p;
+  }
+  return {drop, dup, delay, 1.0 - drop - dup - delay};
+}
+
+/// count * log(p_nom / p_bias), with the degenerate cases pinned down:
+/// an event that never occurred contributes nothing regardless of its
+/// probabilities; equal probabilities contribute nothing regardless of the
+/// count (identical specs must weigh exactly 1, even on 0/0 events); an
+/// observed event that is impossible under the nominal model but possible
+/// under the biased one zeroes the whole weight (-infinity in log space).
+double lr_term(std::uint64_t count, double p_nom, double p_bias) {
+  if (count == 0 || p_nom == p_bias) return 0.0;
+  if (p_nom <= 0.0) return -std::numeric_limits<double>::infinity();
+  // p_bias <= 0 with count > 0 cannot happen for draws made under `biased`;
+  // guard anyway so a mismatched spec pair fails loudly (NaN), not silently.
+  if (p_bias <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(count) * std::log(p_nom / p_bias);
+}
+
+}  // namespace
+
+double channel_log_lr(const ChannelFaultSpec& nominal,
+                      const ChannelFaultSpec& biased,
+                      const ChannelFaultCounts& counts) {
+  double log_lr = 0.0;
+  for (std::size_t s = 0; s < 2; ++s) {
+    const bool bad = (s == ChannelFaultCounts::kBad);
+    const auto pn = emission(nominal, bad);
+    const auto pb = emission(biased, bad);
+    log_lr += lr_term(counts.dropped[s], pn[0], pb[0]);
+    log_lr += lr_term(counts.duplicated[s], pn[1], pb[1]);
+    log_lr += lr_term(counts.delayed[s], pn[2], pb[2]);
+    log_lr += lr_term(counts.delivered[s], pn[3], pb[3]);
+  }
+  // Transition factor of the Gilbert–Elliott chain: one draw per write,
+  // made in the state the write was emitted from.
+  const double n_enter = nominal.burst ? nominal.burst->p_enter : 0.0;
+  const double b_enter = biased.burst ? biased.burst->p_enter : 0.0;
+  const double n_exit = nominal.burst ? nominal.burst->p_exit : 1.0;
+  const double b_exit = biased.burst ? biased.burst->p_exit : 1.0;
+  const std::uint64_t good = counts.draws[ChannelFaultCounts::kGood];
+  const std::uint64_t bad = counts.draws[ChannelFaultCounts::kBad];
+  if (n_enter != b_enter || n_exit != b_exit || counts.to_bad != 0 ||
+      bad != 0) {
+    log_lr += lr_term(counts.to_bad, n_enter, b_enter);
+    log_lr += lr_term(good - counts.to_bad, 1.0 - n_enter, 1.0 - b_enter);
+    log_lr += lr_term(counts.to_good, n_exit, b_exit);
+    log_lr += lr_term(bad - counts.to_good, 1.0 - n_exit, 1.0 - b_exit);
+  }
+  return log_lr;
 }
 
 std::vector<minisc::Time> FaultScenario::fault_times() const {

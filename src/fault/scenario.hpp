@@ -1,7 +1,9 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,26 @@ class Rng {
   /// Uniform double in [lo, hi].
   double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
 
+  /// Uniform integer in [0, n) without modulo bias (Lemire's multiply-shift
+  /// with rejection). n == 0 is the full 64-bit range.
+  std::uint64_t bounded(std::uint64_t n) {
+    if (n == 0) return next();
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(n);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      // 2^64 mod n: values of `lo` below this threshold over-represent some
+      // quotients; reject and redraw (expected < 2 draws even at worst n).
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next()) *
+            static_cast<unsigned __int128>(n);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
   /// Uniform Time in [lo, hi] (picosecond granularity).
   minisc::Time time_in(minisc::Time lo, minisc::Time hi) {
     if (hi <= lo) return lo;
@@ -40,7 +62,7 @@ class Rng {
     if (span == std::numeric_limits<std::uint64_t>::max()) {
       return minisc::Time::ps(next());  // degenerate full-range request
     }
-    return minisc::Time::ps(lo.to_ps() + next() % (span + 1));
+    return minisc::Time::ps(lo.to_ps() + bounded(span + 1));
   }
 
  private:
@@ -67,11 +89,13 @@ struct PulseSpec {
   double max_extra_cycles = 0.0;
 };
 
-/// Resource outage windows: while an outage is active the resource accepts no
-/// new occupation — every segment that tries to claim it stalls until the
-/// window ends (a processor lockup, a bus reset). In-flight occupations
-/// complete. SW resources only: HW resources model spatial parallelism and
-/// have no serialising claim to stall.
+/// Resource outage windows: while an outage is active the resource makes no
+/// progress (a processor lockup, a bus reset, an accelerator in reset).
+/// On SW resources every segment that tries to claim the processor stalls
+/// until the window ends (in-flight occupations complete). On HW and ENV
+/// resources the window is registered as resource downtime: a HW segment
+/// overlapping the window is stretched by the overlap (work needs uptime),
+/// and an ENV process reaching a node inside the window stalls until it ends.
 struct OutageSpec {
   std::string resource;
   std::size_t count = 0;
@@ -79,10 +103,45 @@ struct OutageSpec {
   minisc::Time max_length;
 };
 
+/// Poisson-cluster outage *storms*: `count` storm centres are drawn uniformly
+/// in [0, horizon); each storm opens with one outage at its centre and keeps
+/// adding cluster members (offset uniformly in [0, window) after the centre)
+/// while a per-member Bernoulli(continue_p) draw succeeds, capped at
+/// max_cluster. The result is the correlated counterpart of OutageSpec:
+/// rate-matched independent outages scatter, a storm concentrates them.
+struct StormSpec {
+  std::string resource;
+  std::size_t count = 0;      ///< number of storm centres
+  double continue_p = 0.0;    ///< P(one more outage in this cluster)
+  std::size_t max_cluster = 16;
+  minisc::Time window;        ///< cluster members land in [centre, centre+window)
+  minisc::Time min_length;
+  minisc::Time max_length;
+};
+
+/// Two-state Gilbert–Elliott burst model for a channel: each write first
+/// draws its fate from the probabilities of the current state (the base
+/// ChannelFaultSpec probabilities in the good state, the bad_* ones in the
+/// bad state), then draws the state transition for the next write
+/// (good -> bad with p_enter, bad -> good with p_exit). Channels start good.
+/// The stationary bad-state occupancy is p_enter / (p_enter + p_exit), so a
+/// rate-matched i.i.d. model has
+///   drop_p_iid = pi_good * drop_p + pi_bad * bad_drop_p
+/// — same long-run loss rate, none of the bursts.
+struct GilbertElliottSpec {
+  double p_enter = 0.0;  ///< good -> bad per write
+  double p_exit = 1.0;   ///< bad -> good per write
+  double bad_drop_p = 0.0;
+  double bad_dup_p = 0.0;
+  double bad_delay_p = 0.0;
+};
+
 /// Message faults on a channel wrapped in FaultyFifo / FaultyRendezvous.
 /// Probabilities are per write and disjoint (drop_p + dup_p + delay_p <= 1;
 /// the remainder delivers normally). `channel` is an exact channel name or
-/// "*" for every attached channel.
+/// "*" for every attached channel. When `burst` is engaged the flat
+/// probabilities become the good-state emission model of a Gilbert–Elliott
+/// chain; leave it disengaged for the classic i.i.d. behaviour.
 struct ChannelFaultSpec {
   std::string channel;
   double drop_p = 0.0;
@@ -90,7 +149,44 @@ struct ChannelFaultSpec {
   double delay_p = 0.0;
   minisc::Time min_delay;
   minisc::Time max_delay;
+  std::optional<GilbertElliottSpec> burst;
 };
+
+/// Per-channel draw accounting kept by the Faulty* wrappers, split by the
+/// Gilbert–Elliott state the draw was made in (i.i.d. channels only ever
+/// populate index kGood). These counts are exactly the sufficient statistics
+/// of the per-write categorical + transition likelihood, which is what makes
+/// importance-sampling weights computable after the run.
+struct ChannelFaultCounts {
+  static constexpr std::size_t kGood = 0;
+  static constexpr std::size_t kBad = 1;
+
+  std::array<std::uint64_t, 2> draws{};       ///< writes drawn in each state
+  std::array<std::uint64_t, 2> dropped{};
+  std::array<std::uint64_t, 2> duplicated{};
+  std::array<std::uint64_t, 2> delayed{};
+  std::array<std::uint64_t, 2> delivered{};
+  std::uint64_t to_bad = 0;   ///< good -> bad transitions taken
+  std::uint64_t to_good = 0;  ///< bad -> good transitions taken
+
+  std::uint64_t total_draws() const { return draws[kGood] + draws[kBad]; }
+  std::uint64_t total_faults() const {
+    return dropped[kGood] + dropped[kBad] + duplicated[kGood] +
+           duplicated[kBad] + delayed[kGood] + delayed[kBad];
+  }
+};
+
+/// Log likelihood ratio log(P_nominal / P_biased) of one channel's observed
+/// draw record, for importance-sampled campaigns: the run simulates under
+/// `biased` (typically the nominal spec with inflated fault probabilities)
+/// and each run is re-weighted by exp of this value to recover an unbiased
+/// estimate under `nominal`. A spec without `burst` is treated as a chain
+/// that never leaves the good state. Returns -infinity when the observed
+/// record is impossible under `nominal` (weight 0); requires every event
+/// observed to have positive probability under `biased`.
+double channel_log_lr(const ChannelFaultSpec& nominal,
+                      const ChannelFaultSpec& biased,
+                      const ChannelFaultCounts& counts);
 
 /// Crash-kill of a process at a fixed time; restart_after == Time::max()
 /// means no restart (a permanent fault), anything else re-runs the process
@@ -106,6 +202,7 @@ struct ScenarioConfig {
   minisc::Time horizon;
   std::vector<PulseSpec> pulses;
   std::vector<OutageSpec> outages;
+  std::vector<StormSpec> storms;
   std::vector<ChannelFaultSpec> channel_faults;
   std::vector<CrashSpec> crashes;
 };
@@ -135,7 +232,8 @@ class FaultScenario {
   std::uint64_t seed() const { return seed_; }
   const ScenarioConfig& config() const { return config_; }
 
-  /// Drawn pulses / outages, each sorted by time.
+  /// Drawn pulses / outages, each sorted by time. Outages merge the
+  /// independent OutageSpec draws and every StormSpec cluster member.
   const std::vector<Pulse>& pulses() const { return pulses_; }
   const std::vector<Outage>& outages() const { return outages_; }
   /// Crashes from the config, sorted by time.

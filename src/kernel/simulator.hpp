@@ -197,6 +197,18 @@ class Simulator {
   void set_watchdog(const Watchdog& w) { watchdog_ = w; }
   const Watchdog& watchdog() const { return watchdog_; }
 
+  /// Amortised wall-clock budget probe callable from inside a running
+  /// process (the estimation library calls it from the annotation hot path).
+  /// The scheduler loop only checks the budget between dispatches, so a hang
+  /// *inside* one compute segment would otherwise never trip it. Throws the
+  /// same kWallClockBudget SimError as the scheduler check; thrown on the
+  /// process's coroutine stack, it unwinds the body and propagates out of
+  /// run(). No-op outside process context or without a wall-clock budget.
+  void probe_wall_clock() {
+    if (running_ == nullptr) return;
+    check_wall_clock();
+  }
+
   // ---- fault-injection primitives ----
 
   /// Crash-kills a live process: its coroutine stack unwinds (running the

@@ -1,6 +1,8 @@
 #include "trace/campaign.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <iomanip>
 #include <ostream>
 
 #include "kernel/error.hpp"
@@ -35,6 +37,12 @@ CampaignReport FaultCampaign::report() const {
   rep.runs = results_.size();
   std::vector<double> makespans;
   std::vector<double> recoveries;
+  // Importance-sampling accumulators over completed runs: the weighted
+  // per-run miss fraction w_i * m_i, and the raw weights for ESS.
+  std::vector<double> weighted_miss;
+  double sum_w = 0.0;
+  double sum_w2 = 0.0;
+  bool any_weighted = false;
   for (const CampaignRunResult& r : results_) {
     if (!r.completed) {
       ++rep.failed_runs;
@@ -45,19 +53,51 @@ CampaignReport FaultCampaign::report() const {
     makespans.push_back(r.makespan.to_ns_d());
     recoveries.insert(recoveries.end(), r.recovery_latencies_ns.begin(),
                       r.recovery_latencies_ns.end());
+    rep.mean_energy_pj += r.energy_pj;
+    rep.mean_fault_energy_pj += r.fault_energy_pj;
+    const double w = std::exp(r.log_weight);
+    if (r.log_weight != 0.0) any_weighted = true;
+    const double m =
+        r.deadline_total > 0
+            ? static_cast<double>(r.deadline_missed) /
+                  static_cast<double>(r.deadline_total)
+            : 0.0;
+    weighted_miss.push_back(w * m);
+    sum_w += w;
+    sum_w2 += w * w;
+  }
+  const std::size_t completed = rep.runs - rep.failed_runs;
+  if (completed > 0) {
+    rep.mean_energy_pj /= static_cast<double>(completed);
+    rep.mean_fault_energy_pj /= static_cast<double>(completed);
   }
   if (rep.deadline_total > 0) {
     const double p = static_cast<double>(rep.deadline_missed) /
                      static_cast<double>(rep.deadline_total);
     rep.miss_rate = p;
-    rep.miss_rate_ci95 =
-        1.96 * std::sqrt(p * (1.0 - p) /
-                         static_cast<double>(rep.deadline_total));
+    if (rep.deadline_missed == 0 || rep.deadline_missed == rep.deadline_total) {
+      // At 0/N or N/N the Wald interval collapses to width zero, which
+      // overstates certainty badly in exactly the rare-event regime a fault
+      // campaign probes. Use the rule-of-three bound 3/N instead.
+      rep.miss_rate_ci95 = 3.0 / static_cast<double>(rep.deadline_total);
+    } else {
+      rep.miss_rate_ci95 =
+          1.96 * std::sqrt(p * (1.0 - p) /
+                           static_cast<double>(rep.deadline_total));
+    }
   }
   rep.makespan_ns = summarize(makespans);
   rep.makespan_ci95 = mean_ci95(rep.makespan_ns);
   rep.recovery_ns = summarize(recoveries);
   rep.recovery_ci95 = mean_ci95(rep.recovery_ns);
+  rep.importance_sampled = any_weighted;
+  if (any_weighted && completed > 0) {
+    const Summary wm = summarize(weighted_miss);
+    rep.weighted_miss_rate = wm.mean;
+    rep.weighted_miss_rate_ci95 = mean_ci95(wm);
+    rep.mean_weight = sum_w / static_cast<double>(completed);
+    rep.effective_sample_size = sum_w2 > 0.0 ? sum_w * sum_w / sum_w2 : 0.0;
+  }
   return rep;
 }
 
@@ -67,6 +107,13 @@ void CampaignReport::print(std::ostream& os) const {
   os << "  deadlines: " << deadline_missed << "/" << deadline_total
      << " missed, miss rate " << miss_rate * 100.0 << "% +/- "
      << miss_rate_ci95 * 100.0 << "%\n";
+  if (importance_sampled) {
+    os << "  importance-sampled nominal miss rate: "
+       << weighted_miss_rate * 100.0 << "% +/- "
+       << weighted_miss_rate_ci95 * 100.0 << "%  (ESS "
+       << effective_sample_size << " of " << runs - failed_runs
+       << ", mean weight " << mean_weight << ")\n";
+  }
   if (makespan_ns.count > 0) {
     os << "  makespan:  mean " << makespan_ns.mean << " ns +/- "
        << makespan_ci95 << " (min " << makespan_ns.min << ", max "
@@ -77,17 +124,89 @@ void CampaignReport::print(std::ostream& os) const {
        << recovery_ci95 << " (min " << recovery_ns.min << ", max "
        << recovery_ns.max << ", n=" << recovery_ns.count << ")\n";
   }
+  if (mean_energy_pj > 0.0 || mean_fault_energy_pj > 0.0) {
+    os << "  energy:    mean " << mean_energy_pj << " pJ/run, of which "
+       << mean_fault_energy_pj << " pJ fault overhead\n";
+  }
 }
 
 void FaultCampaign::write_csv(std::ostream& os) const {
   os << "seed,completed,makespan_ns,deadline_total,deadline_missed,"
-        "faults_injected,recovery_samples,mean_recovery_ns,value_hash\n";
+        "faults_injected,recovery_samples,mean_recovery_ns,log_weight,"
+        "weight,energy_pj,fault_energy_pj,value_hash\n";
   for (const CampaignRunResult& r : results_) {
     const Summary rec = summarize(r.recovery_latencies_ns);
     os << r.seed << ',' << (r.completed ? 1 : 0) << ','
        << r.makespan.to_ns_d() << ',' << r.deadline_total << ','
        << r.deadline_missed << ',' << r.faults_injected << ','
-       << rec.count << ',' << rec.mean << ',' << r.value_hash << '\n';
+       << rec.count << ',' << rec.mean << ',' << r.log_weight << ','
+       << std::exp(r.log_weight) << ',' << r.energy_pj << ','
+       << r.fault_energy_pj << ',' << r.value_hash << '\n';
+  }
+}
+
+void CampaignSweep::run(std::uint64_t base_seed, std::size_t n) {
+  cells_.clear();
+  cells_.reserve(mappings_.size() * scenarios_.size());
+  for (const std::string& m : mappings_) {
+    for (const std::string& s : scenarios_) {
+      FaultCampaign campaign(factory_(m, s));
+      campaign.run(base_seed, n);
+      cells_.push_back(Cell{m, s, campaign.report()});
+    }
+  }
+}
+
+const CampaignReport* CampaignSweep::cell(const std::string& mapping,
+                                          const std::string& scenario) const {
+  for (const Cell& c : cells_) {
+    if (c.mapping == mapping && c.scenario == scenario) return &c.report;
+  }
+  return nullptr;
+}
+
+void CampaignSweep::print(std::ostream& os) const {
+  // Miss-rate grid, mappings down, scenarios across. Column width is sized
+  // for "100.00%" plus breathing room.
+  std::size_t name_w = 7;  // "mapping"
+  for (const std::string& m : mappings_) name_w = std::max(name_w, m.size());
+  os << "deadline miss rate (%), " << mappings_.size() << " mappings x "
+     << scenarios_.size() << " scenarios\n";
+  os << std::left << std::setw(static_cast<int>(name_w) + 2) << "mapping";
+  for (const std::string& s : scenarios_) {
+    os << std::right << std::setw(std::max<int>(10, static_cast<int>(s.size()) + 2))
+       << s;
+  }
+  os << '\n';
+  const std::streamsize old_prec = os.precision();
+  os << std::fixed << std::setprecision(2);
+  for (const std::string& m : mappings_) {
+    os << std::left << std::setw(static_cast<int>(name_w) + 2) << m;
+    for (const std::string& s : scenarios_) {
+      const CampaignReport* rep = cell(m, s);
+      const int w = std::max<int>(10, static_cast<int>(s.size()) + 2);
+      if (rep == nullptr) {
+        os << std::right << std::setw(w) << "-";
+      } else {
+        os << std::right << std::setw(w) << rep->miss_rate * 100.0;
+      }
+    }
+    os << '\n';
+  }
+  os << std::defaultfloat << std::setprecision(static_cast<int>(old_prec));
+}
+
+void CampaignSweep::write_csv(std::ostream& os) const {
+  os << "mapping,scenario,runs,failed_runs,deadline_total,deadline_missed,"
+        "miss_rate,miss_rate_ci95,mean_makespan_ns,mean_energy_pj,"
+        "mean_fault_energy_pj\n";
+  for (const Cell& c : cells_) {
+    os << c.mapping << ',' << c.scenario << ',' << c.report.runs << ','
+       << c.report.failed_runs << ',' << c.report.deadline_total << ','
+       << c.report.deadline_missed << ',' << c.report.miss_rate << ','
+       << c.report.miss_rate_ci95 << ',' << c.report.makespan_ns.mean << ','
+       << c.report.mean_energy_pj << ',' << c.report.mean_fault_energy_pj
+       << '\n';
   }
 }
 

@@ -38,13 +38,27 @@ struct CampaignRunResult {
   /// channel faults) — for the CSV and for sanity checks.
   std::uint64_t faults_injected = 0;
 
+  /// Importance sampling: log likelihood ratio log(P_nominal / P_biased) of
+  /// this run's fault draws (sum of scfault::channel_log_lr over the biased
+  /// channels). Leave at 0 for naive Monte Carlo — weight exp(0) = 1.
+  double log_weight = 0.0;
+
+  /// Estimated total energy of the run in picojoules, and the share of it
+  /// charged by fault injection (Estimator::total_energy_pj /
+  /// fault_energy_pj) — the campaign reports the energy overhead of
+  /// recovery from these.
+  double energy_pj = 0.0;
+  double fault_energy_pj = 0.0;
+
   /// CaptureRegistry::value_sequence_hash of the run — equal seeds must
   /// yield equal hashes (determinism check across repeated campaigns).
   std::uint64_t value_hash = 0;
 };
 
 /// Aggregate view of a campaign. All ci95 fields are half-widths of normal-
-/// approximation 95% confidence intervals: 1.96 * stderr.
+/// approximation 95% confidence intervals: 1.96 * stderr — except the
+/// degenerate miss-rate cases 0/N and N/N, which use the rule-of-three
+/// bound 3/N instead of the Wald formula's misleading zero width.
 struct CampaignReport {
   std::size_t runs = 0;
   std::size_t failed_runs = 0;
@@ -60,6 +74,28 @@ struct CampaignReport {
   Summary recovery_ns;          ///< over all recovery samples, all runs
   double recovery_ci95 = 0.0;
 
+  /// Mean per-run energy and fault-energy overhead, in picojoules (over
+  /// completed runs; both 0 when the experiment reports no energy).
+  double mean_energy_pj = 0.0;
+  double mean_fault_energy_pj = 0.0;
+
+  // ---- importance sampling (populated when any run carries a weight) ----
+
+  /// True when at least one completed run had log_weight != 0: the campaign
+  /// sampled from a biased scenario and the weighted estimate below is the
+  /// unbiased one. False = naive MC; use miss_rate.
+  bool importance_sampled = false;
+  /// Unbiased estimate of the nominal per-run deadline-miss fraction:
+  /// mean of weight_i * (missed_i / total_i) over completed runs.
+  double weighted_miss_rate = 0.0;
+  double weighted_miss_rate_ci95 = 0.0;  ///< 1.96 * stderr of the above
+  /// Kish effective sample size (sum w)^2 / sum w^2 — how many naive runs
+  /// the weighted sample is worth; a tiny ESS flags a badly chosen bias.
+  double effective_sample_size = 0.0;
+  /// Mean weight: should hover near 1; far off means the biased scenario
+  /// explores a different region than the nominal one.
+  double mean_weight = 0.0;
+
   void print(std::ostream& os) const;
 };
 
@@ -73,6 +109,13 @@ double mean_ci95(const Summary& s);
 /// escaping it (e.g. a watchdog trip in a non-resilient mapping) is caught
 /// and recorded as a failed run rather than aborting the campaign — a run
 /// that hangs *is* a data point.
+///
+/// For rare-fault regimes, build the run function against a *biased*
+/// scenario (inflated fault probabilities) and fill in log_weight with the
+/// likelihood ratio of the nominal model (scfault::channel_log_lr): the
+/// report then carries the unbiased weighted miss-rate estimate with its
+/// effective sample size. With no weights set, everything reduces to naive
+/// Monte Carlo.
 class FaultCampaign {
  public:
   using RunFn = std::function<CampaignRunResult(std::uint64_t seed)>;
@@ -85,12 +128,57 @@ class FaultCampaign {
   const std::vector<CampaignRunResult>& results() const { return results_; }
   CampaignReport report() const;
 
-  /// One row per run: seed, completed, makespan, deadlines, faults, hash.
+  /// One row per run: seed, completed, makespan, deadlines, faults, weight,
+  /// energy, hash.
   void write_csv(std::ostream& os) const;
 
  private:
   RunFn fn_;
   std::vector<CampaignRunResult> results_;
+};
+
+/// Mapping × scenario campaign sweep: the grid-level driver the paper's
+/// design-space exploration needs once faults enter the picture. For every
+/// (mapping, scenario) pair the factory returns a seeded run function (the
+/// same shape FaultCampaign takes); the sweep runs a full campaign per cell
+/// and lays the reports out as a grid — which mapping stays schedulable
+/// under which fault regime.
+class CampaignSweep {
+ public:
+  struct Cell {
+    std::string mapping;
+    std::string scenario;
+    CampaignReport report;
+  };
+
+  using Factory = std::function<FaultCampaign::RunFn(
+      const std::string& mapping, const std::string& scenario)>;
+
+  CampaignSweep(std::vector<std::string> mappings,
+                std::vector<std::string> scenarios, Factory factory)
+      : mappings_(std::move(mappings)),
+        scenarios_(std::move(scenarios)),
+        factory_(std::move(factory)) {}
+
+  /// Runs every cell's campaign with the same base seed and run count —
+  /// common random numbers across cells, so cell differences are design
+  /// differences, not sampling noise.
+  void run(std::uint64_t base_seed, std::size_t n);
+
+  const std::vector<Cell>& cells() const { return cells_; }
+  const CampaignReport* cell(const std::string& mapping,
+                             const std::string& scenario) const;
+
+  /// Miss-rate grid: one row per mapping, one column per scenario.
+  void print(std::ostream& os) const;
+  /// One row per cell: mapping, scenario, and the headline report fields.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> mappings_;
+  std::vector<std::string> scenarios_;
+  Factory factory_;
+  std::vector<Cell> cells_;
 };
 
 }  // namespace sctrace

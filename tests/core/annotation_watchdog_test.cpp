@@ -1,0 +1,72 @@
+// In-segment wall-clock watchdog: a compute segment that never reaches a
+// node never returns to the scheduler, so the kernel's own budget check
+// (amortised into the dispatch loop) would sleep through the hang. The
+// annotation path probes the budget from inside SegmentAccum::charge, which
+// turns an unbounded annotated loop into a SimError instead of a wedge.
+
+#include <gtest/gtest.h>
+
+#include "core/scperf.hpp"
+#include "kernel/error.hpp"
+
+namespace scperf {
+namespace {
+
+using minisc::SimError;
+using minisc::Time;
+
+CostTable add_only_table() {
+  CostTable t;
+  t.set(Op::kAdd, 1.0);
+  return t;
+}
+
+TEST(AnnotationWatchdog, UnboundedSegmentTripsWallClockBudget) {
+  minisc::Simulator sim;
+  minisc::Watchdog wd;
+  wd.wall_clock_ms = 50;  // keep the test fast; the loop spins until tripped
+  sim.set_watchdog(wd);
+  Estimator est(sim);
+  auto& cpu = est.add_sw_resource("cpu", 100.0, add_only_table());
+  est.map("spin", cpu);
+  sim.spawn("spin", [&] {
+    // No wait, no channel access: without the in-charge probe this loop
+    // never yields and the test binary hangs.
+    gint a(detail::RawTag{}, 0);
+    for (;;) {
+      gint r = a + 1;
+      (void)r;
+    }
+  });
+  try {
+    sim.run();
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimError::Kind::kWallClockBudget);
+  }
+}
+
+TEST(AnnotationWatchdog, BoundedSegmentsPassUntouched) {
+  // The probe must be an observer: a finite annotated workload under a
+  // generous budget completes with its estimate unchanged.
+  minisc::Simulator sim;
+  minisc::Watchdog wd;
+  wd.wall_clock_ms = 10000;
+  sim.set_watchdog(wd);
+  Estimator est(sim);
+  auto& cpu = est.add_sw_resource("cpu", 100.0, add_only_table());
+  est.map("p", cpu);
+  sim.spawn("p", [&] {
+    gint a(detail::RawTag{}, 0);
+    for (int i = 0; i < 100000; ++i) {  // well past several probe strides
+      gint r = a + 1;
+      (void)r;
+    }
+    minisc::wait(Time::ns(1));
+  });
+  EXPECT_EQ(sim.run(), minisc::StopReason::kFinished);
+  EXPECT_DOUBLE_EQ(est.process_cycles("p"), 100000.0);
+}
+
+}  // namespace
+}  // namespace scperf

@@ -1,0 +1,234 @@
+// Correlated fault models: Gilbert-Elliott channel behaviour, its draw
+// accounting, and the likelihood-ratio weights built from it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "fault/channels.hpp"
+#include "fault/scenario.hpp"
+#include "kernel/simulator.hpp"
+
+namespace scfault {
+namespace {
+
+using minisc::Time;
+
+ChannelFaultSpec ge_spec(double p_enter, double p_exit, double bad_drop) {
+  ChannelFaultSpec s{"ch", 0.0, 0.0, 0.0, Time::zero(), Time::zero(), {}};
+  s.burst = GilbertElliottSpec{p_enter, p_exit, bad_drop, 0.0, 0.0};
+  return s;
+}
+
+ChannelFaultSpec iid_spec(double drop) {
+  return {"ch", drop, 0.0, 0.0, Time::zero(), Time::zero(), {}};
+}
+
+/// Pushes `n` writes through a faulty fifo under `spec` and returns the
+/// per-write loss pattern (true = dropped), plus the channel for counters.
+std::vector<bool> loss_pattern(const ChannelFaultSpec& spec, std::uint64_t seed,
+                               int n, FaultyFifo<int>& ch) {
+  ScenarioConfig cfg;
+  cfg.horizon = Time::ms(10);
+  cfg.channel_faults.push_back(spec);
+  FaultScenario sc(cfg, seed);
+  ch.attach(sc);
+
+  minisc::Simulator sim;
+  std::vector<bool> lost;
+  sim.spawn("writer", [&] {
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t before = ch.dropped();
+      ch.write(i);
+      lost.push_back(ch.dropped() != before);
+    }
+  });
+  sim.spawn("reader", [&] {
+    while (ch.read_for(Time::us(1)).has_value()) {
+    }
+  });
+  EXPECT_EQ(sim.run(), minisc::StopReason::kFinished);
+  return lost;
+}
+
+TEST(GilbertElliott, AllGoodWhenNeverEntering) {
+  FaultyFifo<int> ch("ch", 256);
+  const auto lost = loss_pattern(ge_spec(0.0, 1.0, 1.0), 3, 200, ch);
+  for (bool l : lost) EXPECT_FALSE(l);
+  EXPECT_EQ(ch.fault_counts().draws[ChannelFaultCounts::kBad], 0u);
+  EXPECT_EQ(ch.fault_counts().to_bad, 0u);
+  EXPECT_EQ(ch.fault_counts().delivered[ChannelFaultCounts::kGood], 200u);
+}
+
+TEST(GilbertElliott, StickyBadStateDropsRuns) {
+  // Certain entry, certain stay, certain bad-state drop: the first write is
+  // drawn in the good state (channels start good) and everything after is a
+  // bad-state loss.
+  FaultyFifo<int> ch("ch", 256);
+  const auto lost = loss_pattern(ge_spec(1.0, 0.0, 1.0), 5, 50, ch);
+  ASSERT_EQ(lost.size(), 50u);
+  EXPECT_FALSE(lost[0]);
+  for (std::size_t i = 1; i < lost.size(); ++i) EXPECT_TRUE(lost[i]);
+  const ChannelFaultCounts& c = ch.fault_counts();
+  EXPECT_EQ(c.draws[ChannelFaultCounts::kGood], 1u);
+  EXPECT_EQ(c.draws[ChannelFaultCounts::kBad], 49u);
+  EXPECT_EQ(c.to_bad, 1u);
+  EXPECT_EQ(c.to_good, 0u);
+  EXPECT_EQ(c.dropped[ChannelFaultCounts::kBad], 49u);
+}
+
+TEST(GilbertElliott, BurstsClusterLossesAtMatchedMarginalRate) {
+  // pi_bad = 0.1 / (0.1 + 0.4) = 0.2; marginal loss = 0.2 * 0.5 = 10%.
+  // The i.i.d. control drops at a flat 10%. Compare (a) overall loss rates
+  // (close) and (b) P(loss | previous loss) (far apart): correlation without
+  // a marginal-rate change is exactly what the burst model adds.
+  const int kWrites = 6000;
+  FaultyFifo<int> ge_ch("ch", 256);
+  FaultyFifo<int> iid_ch("ch", 256);
+  const auto ge_lost = loss_pattern(ge_spec(0.1, 0.4, 0.5), 11, kWrites, ge_ch);
+  const auto iid_lost = loss_pattern(iid_spec(0.1), 11, kWrites, iid_ch);
+
+  auto stats = [](const std::vector<bool>& lost) {
+    int losses = 0, pairs = 0, consecutive = 0;
+    for (std::size_t i = 0; i < lost.size(); ++i) {
+      if (!lost[i]) continue;
+      ++losses;
+      if (i + 1 < lost.size()) {
+        ++pairs;
+        if (lost[i + 1]) ++consecutive;
+      }
+    }
+    return std::pair<double, double>(
+        static_cast<double>(losses) / static_cast<double>(lost.size()),
+        pairs > 0 ? static_cast<double>(consecutive) / pairs : 0.0);
+  };
+  const auto [ge_rate, ge_cond] = stats(ge_lost);
+  const auto [iid_rate, iid_cond] = stats(iid_lost);
+
+  EXPECT_NEAR(ge_rate, 0.10, 0.02);
+  EXPECT_NEAR(iid_rate, 0.10, 0.02);
+  // Theory: P(loss | loss) = (1 - p_exit) * bad_drop = 0.3 for the chain,
+  // 0.1 for i.i.d. Generous brackets keep the test seed-robust.
+  EXPECT_GT(ge_cond, 0.2);
+  EXPECT_LT(iid_cond, 0.15);
+  EXPECT_GT(ge_cond, iid_cond * 1.5);
+}
+
+TEST(GilbertElliott, CountsAreSufficientAndConsistent) {
+  FaultyFifo<int> ch("ch", 256);
+  loss_pattern(ge_spec(0.3, 0.3, 0.6), 21, 500, ch);
+  const ChannelFaultCounts& c = ch.fault_counts();
+  EXPECT_EQ(c.total_draws(), 500u);
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(c.draws[s],
+              c.dropped[s] + c.duplicated[s] + c.delayed[s] + c.delivered[s]);
+  }
+  // Chain starts good and transitions alternate: the counts can differ by
+  // at most one.
+  const std::uint64_t diff =
+      c.to_bad > c.to_good ? c.to_bad - c.to_good : c.to_good - c.to_bad;
+  EXPECT_LE(diff, 1u);
+  EXPECT_GT(c.draws[ChannelFaultCounts::kBad], 0u);
+}
+
+// ---- likelihood-ratio weights -------------------------------------------
+
+TEST(ChannelLogLr, IdenticalSpecsWeighNothing) {
+  ChannelFaultSpec spec = iid_spec(0.2);
+  ChannelFaultCounts counts;
+  counts.draws[0] = 100;
+  counts.dropped[0] = 18;
+  counts.delivered[0] = 82;
+  EXPECT_DOUBLE_EQ(channel_log_lr(spec, spec, counts), 0.0);
+
+  ChannelFaultSpec ge = ge_spec(0.1, 0.4, 0.5);
+  counts.draws[1] = 40;
+  counts.dropped[1] = 21;
+  counts.delivered[1] = 19;
+  counts.to_bad = 5;
+  counts.to_good = 5;
+  EXPECT_DOUBLE_EQ(channel_log_lr(ge, ge, counts), 0.0);
+}
+
+TEST(ChannelLogLr, MatchesHandComputedIidRatio) {
+  // 100 draws under biased p=0.04, of which 3 drops:
+  //   log LR = 3 log(0.004/0.04) + 97 log(0.996/0.96)
+  const ChannelFaultSpec nominal = iid_spec(0.004);
+  const ChannelFaultSpec biased = iid_spec(0.04);
+  ChannelFaultCounts counts;
+  counts.draws[0] = 100;
+  counts.dropped[0] = 3;
+  counts.delivered[0] = 97;
+  const double expected =
+      3.0 * std::log(0.004 / 0.04) + 97.0 * std::log(0.996 / 0.96);
+  EXPECT_NEAR(channel_log_lr(nominal, biased, counts), expected, 1e-12);
+  // Unbiasedness sanity at the distribution level: weights of "k drops in 2
+  // draws" summed against biased probabilities reproduce 1.
+  double total = 0.0;
+  for (int k = 0; k <= 2; ++k) {
+    ChannelFaultCounts c2;
+    c2.draws[0] = 2;
+    c2.dropped[0] = static_cast<std::uint64_t>(k);
+    c2.delivered[0] = static_cast<std::uint64_t>(2 - k);
+    const double pb = (k == 0 ? 0.96 * 0.96
+                              : (k == 1 ? 2 * 0.04 * 0.96 : 0.04 * 0.04));
+    total += pb * std::exp(channel_log_lr(nominal, biased, c2));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ChannelLogLr, ImpossibleUnderNominalZeroesTheWeight) {
+  // The nominal channel never duplicates; a run that observed a duplicate
+  // has probability zero under it — weight must collapse to exp(-inf) = 0.
+  const ChannelFaultSpec nominal = iid_spec(0.1);
+  ChannelFaultSpec biased = iid_spec(0.1);
+  biased.dup_p = 0.2;
+  ChannelFaultCounts counts;
+  counts.draws[0] = 10;
+  counts.duplicated[0] = 1;
+  counts.delivered[0] = 9;
+  const double lr = channel_log_lr(nominal, biased, counts);
+  EXPECT_TRUE(std::isinf(lr));
+  EXPECT_LT(lr, 0.0);
+  EXPECT_DOUBLE_EQ(std::exp(lr), 0.0);
+}
+
+TEST(ChannelLogLr, BurstTransitionsEnterTheRatio) {
+  // Nominal and biased share emissions but differ in p_enter: only the
+  // transition factor contributes.
+  const ChannelFaultSpec nominal = ge_spec(0.01, 0.5, 0.3);
+  const ChannelFaultSpec biased = ge_spec(0.10, 0.5, 0.3);
+  ChannelFaultCounts counts;
+  counts.draws[0] = 50;
+  counts.delivered[0] = 50;
+  counts.draws[1] = 10;
+  counts.dropped[1] = 3;
+  counts.delivered[1] = 7;
+  counts.to_bad = 2;
+  counts.to_good = 2;
+  const double expected = 2.0 * std::log(0.01 / 0.10) +
+                          48.0 * std::log(0.99 / 0.90);
+  EXPECT_NEAR(channel_log_lr(nominal, biased, counts), expected, 1e-12);
+}
+
+TEST(ChannelLogLr, WeightsAreReproducibleAcrossRuns) {
+  // The full loop the campaign relies on: simulate under the biased spec,
+  // weight against the nominal one; same seed, same weight, and inflating
+  // drops makes the typical weight land below 1 on drop-heavy runs.
+  const ChannelFaultSpec nominal = iid_spec(0.01);
+  const ChannelFaultSpec biased = iid_spec(0.2);
+  auto weight_of = [&](std::uint64_t seed) {
+    FaultyFifo<int> ch("ch", 256);
+    loss_pattern(biased, seed, 100, ch);
+    return channel_log_lr(nominal, biased, ch.fault_counts());
+  };
+  const double w1 = weight_of(123);
+  const double w2 = weight_of(123);
+  EXPECT_DOUBLE_EQ(w1, w2);
+  EXPECT_TRUE(std::isfinite(w1));
+}
+
+}  // namespace
+}  // namespace scfault

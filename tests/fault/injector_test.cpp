@@ -99,7 +99,9 @@ TEST(Injector, OutageStallsSubsequentOccupations) {
       }
     });
     EXPECT_EQ(sim.run(), minisc::StopReason::kFinished);
-    if (with_outage) EXPECT_EQ(inj.outages_applied(), 1u);
+    if (with_outage) {
+      EXPECT_EQ(inj.outages_applied(), 1u);
+    }
     return sim.now();
   };
   const Time clean = run_once(false);
@@ -134,11 +136,221 @@ TEST(Injector, CrashDriverKillsAndRestartsVictim) {
   EXPECT_EQ(sim.now(), Time::us(1) + Time::ns(100) + Time::us(10));
 }
 
+// ---- HW / ENV fault injection -------------------------------------------
+
+TEST(Injector, HwOutageStretchesOverlappingSegmentByTheWindow) {
+  // The outage start is drawn in [0, 1 us) with a fixed 3 us length, so the
+  // whole window sits inside the 10 us HW segment that begins at t = 0: the
+  // back-annotated finish must move out by exactly the window, independent
+  // of where in [0, 1 us) the start landed.
+  auto run_once = [](bool with_outage) {
+    ScenarioConfig cfg;
+    cfg.horizon = Time::us(1);
+    if (with_outage) {
+      cfg.outages.push_back({"acc", 1, Time::us(3), Time::us(3)});
+    }
+    FaultScenario sc(cfg, 13);
+    minisc::Simulator sim;
+    scperf::Estimator est(sim);
+    auto& acc = est.add_hw_resource("acc", kMhz, add_only_table(), {.k = 1.0});
+    est.map("hw", acc);
+    FaultInjector inj(sim, est, sc);
+    sim.spawn("hw", [&] {
+      burn_adds(1000);  // 1000 cycles = 10 us at k = 1
+      minisc::wait(Time::ns(1));
+    });
+    EXPECT_EQ(sim.run(), minisc::StopReason::kFinished);
+    if (with_outage) {
+      EXPECT_EQ(inj.outages_applied(), 1u);
+      EXPECT_EQ(est.find_resource("acc")->stalled_time(), Time::us(3));
+    }
+    return sim.now();
+  };
+  const Time clean = run_once(false);
+  const Time faulted = run_once(true);
+  EXPECT_EQ(clean, Time::us(10) + Time::ns(1));
+  EXPECT_EQ(faulted, clean + Time::us(3));
+}
+
+TEST(Injector, HwOutageOutsideSegmentCostsNothing) {
+  ScenarioConfig cfg;
+  cfg.horizon = Time::us(1);
+  cfg.outages.push_back({"acc", 1, Time::us(3), Time::us(3)});
+  FaultScenario sc(cfg, 13);
+  minisc::Simulator sim;
+  scperf::Estimator est(sim);
+  auto& acc = est.add_hw_resource("acc", kMhz, add_only_table(), {.k = 1.0});
+  est.map("hw", acc);
+  FaultInjector inj(sim, est, sc);
+  sim.spawn("hw", [&] {
+    // Idle past the whole window (start < 1 us, length 3 us), then work:
+    // the segment overlaps no downtime and must not stretch.
+    minisc::wait(Time::us(10));
+    burn_adds(100);
+    minisc::wait(Time::ns(1));
+  });
+  EXPECT_EQ(sim.run(), minisc::StopReason::kFinished);
+  EXPECT_EQ(sim.now(), Time::us(10) + Time::us(1) + Time::ns(1));
+  EXPECT_EQ(est.find_resource("acc")->stalled_time(), Time::zero());
+}
+
+TEST(Injector, HwPulseStretchesEstimateIndependentOfK) {
+  // drain_pulses charges the pulse into both Tmax (sum) and Tmin (critical
+  // path), so T = Tmin + (Tmax - Tmin) * k grows by exactly the pulse for
+  // every k.
+  auto run_once = [](double k, bool with_pulse) {
+    ScenarioConfig cfg;
+    cfg.horizon = Time::ns(1);  // due by the second node for any k
+    if (with_pulse) cfg.pulses.push_back({"acc", 1, 500.0, 500.0});
+    FaultScenario sc(cfg, 17);
+    minisc::Simulator sim;
+    scperf::Estimator est(sim);
+    auto& acc = est.add_hw_resource("acc", kMhz, add_only_table(), {.k = k});
+    est.map("hw", acc);
+    FaultInjector inj(sim, est, sc);
+    sim.spawn("hw", [&] {
+      burn_adds(1000);
+      minisc::wait(Time::ns(1));
+      burn_adds(1000);  // the pulse lands in this segment
+      minisc::wait(Time::ns(1));
+    });
+    EXPECT_EQ(sim.run(), minisc::StopReason::kFinished);
+    if (with_pulse) {
+      EXPECT_EQ(inj.pulses_injected(), 1u);
+    }
+    return sim.now();
+  };
+  for (const double k : {0.0, 0.5, 1.0}) {
+    const Time clean = run_once(k, false);
+    const Time faulted = run_once(k, true);
+    // 500 extra cycles at 10 ns / cycle, whatever the k weighting.
+    EXPECT_EQ(faulted, clean + Time::us(5)) << "k = " << k;
+  }
+}
+
+TEST(Injector, EnvPulseStallsTheProcessAtItsClock) {
+  ScenarioConfig cfg;
+  cfg.horizon = Time::us(1);
+  cfg.pulses.push_back({"tb", 1, 3.0, 3.0});  // 3 cycles at 1 MHz = 3 us
+  FaultScenario sc(cfg, 23);
+  minisc::Simulator sim;
+  scperf::Estimator est(sim);
+  auto& tb = est.add_env_resource("tb");
+  est.map("env", tb);
+  FaultInjector inj(sim, est, sc);
+  sim.spawn("env", [&] {
+    for (int i = 0; i < 10; ++i) minisc::wait(Time::ns(200));
+  });
+  EXPECT_EQ(sim.run(), minisc::StopReason::kFinished);
+  EXPECT_EQ(inj.pulses_injected(), 1u);
+  // 10 x 200 ns of testbench activity plus one 3-cycle stall.
+  EXPECT_EQ(sim.now(), Time::us(2) + Time::us(3));
+  EXPECT_DOUBLE_EQ(tb.fault_cycles(), 3.0);
+}
+
+TEST(Injector, EnvOutageParksTheProcessUntilTheWindowCloses) {
+  ScenarioConfig cfg;
+  cfg.horizon = Time::us(1);
+  cfg.outages.push_back({"tb", 1, Time::us(3), Time::us(3)});
+  FaultScenario sc(cfg, 29);
+  minisc::Simulator sim;
+  scperf::Estimator est(sim);
+  auto& tb = est.add_env_resource("tb");
+  est.map("env", tb);
+  FaultInjector inj(sim, est, sc);
+  sim.spawn("env", [&] {
+    for (int i = 0; i < 10; ++i) minisc::wait(Time::ns(200));
+  });
+  EXPECT_EQ(sim.run(), minisc::StopReason::kFinished);
+  EXPECT_EQ(inj.outages_applied(), 1u);
+  // The first node inside [start, start + 3 us) stalls to the window end;
+  // the waits not yet taken at that node follow after it.
+  ASSERT_EQ(sc.outages().size(), 1u);
+  const Time start = sc.outages()[0].start;
+  const std::uint64_t step = Time::ns(200).to_ps();
+  const std::uint64_t k = (start.to_ps() + step - 1) / step;  // waits done
+  const Time expected =
+      start + Time::us(3) + Time::ns(200) * (10 - k);
+  EXPECT_EQ(sim.now(), expected);
+  EXPECT_GT(tb.stalled_time(), Time::zero());
+}
+
+// ---- fault energy accounting ---------------------------------------------
+
+TEST(Injector, PulseCyclesAreChargedAsProcessFaultEnergy) {
+  ScenarioConfig cfg;
+  cfg.horizon = Time::ns(1);
+  cfg.pulses.push_back({"cpu", 1, 100.0, 100.0});
+  FaultScenario sc(cfg, 31);
+  minisc::Simulator sim;
+  scperf::Estimator est(sim);
+  auto& cpu = est.add_sw_resource("cpu", kMhz, add_only_table());
+  cpu.set_fault_energy_per_cycle_pj(2.0);
+  est.map("p", cpu);
+  FaultInjector inj(sim, est, sc);
+  sim.spawn("p", [&] {
+    for (int i = 0; i < 5; ++i) {
+      burn_adds(10);
+      minisc::wait(Time::ns(10));
+    }
+  });
+  EXPECT_EQ(sim.run(), minisc::StopReason::kFinished);
+  EXPECT_EQ(inj.pulses_injected(), 1u);
+  EXPECT_DOUBLE_EQ(est.process_fault_energy_pj("p"), 100.0 * 2.0);
+  EXPECT_DOUBLE_EQ(est.fault_energy_pj(), 200.0);
+  // With no per-op energy table the fault share IS the process energy.
+  EXPECT_DOUBLE_EQ(est.process_energy_pj("p"), 200.0);
+}
+
+TEST(Injector, OutageLockupCyclesAreChargedAsResourceFaultEnergy) {
+  ScenarioConfig cfg;
+  cfg.horizon = Time::us(1);
+  cfg.outages.push_back({"acc", 1, Time::us(3), Time::us(3)});
+  FaultScenario sc(cfg, 37);
+  minisc::Simulator sim;
+  scperf::Estimator est(sim);
+  auto& acc = est.add_hw_resource("acc", kMhz, add_only_table());
+  acc.set_fault_energy_per_cycle_pj(0.5);
+  est.map("hw", acc);
+  FaultInjector inj(sim, est, sc);
+  sim.spawn("hw", [&] {
+    burn_adds(1000);
+    minisc::wait(Time::ns(1));
+  });
+  EXPECT_EQ(sim.run(), minisc::StopReason::kFinished);
+  // 3 us of lockup at 10 ns / cycle = 300 cycles at 0.5 pJ each.
+  EXPECT_DOUBLE_EQ(acc.fault_cycles(), 300.0);
+  EXPECT_DOUBLE_EQ(est.fault_energy_pj(), 150.0);
+  EXPECT_DOUBLE_EQ(est.total_energy_pj(), 150.0);  // no energy tables set
+}
+
+TEST(Injector, ZeroFaultEnergyRateKeepsEnergyBooksUntouched) {
+  ScenarioConfig cfg;
+  cfg.horizon = Time::ns(1);
+  cfg.pulses.push_back({"cpu", 2, 50.0, 50.0});
+  FaultScenario sc(cfg, 41);
+  minisc::Simulator sim;
+  scperf::Estimator est(sim);
+  auto& cpu = est.add_sw_resource("cpu", kMhz, add_only_table());
+  est.map("p", cpu);
+  FaultInjector inj(sim, est, sc);
+  sim.spawn("p", [&] {
+    for (int i = 0; i < 5; ++i) {
+      burn_adds(10);
+      minisc::wait(Time::ns(10));
+    }
+  });
+  EXPECT_EQ(sim.run(), minisc::StopReason::kFinished);
+  EXPECT_EQ(inj.pulses_injected(), 2u);
+  EXPECT_DOUBLE_EQ(est.process_fault_energy_pj("p"), 0.0);
+  EXPECT_DOUBLE_EQ(est.fault_energy_pj(), 0.0);
+}
+
 TEST(FaultyChannels, DropAllLosesEveryMessageSilently) {
   ScenarioConfig cfg;
   cfg.horizon = Time::us(1);
   cfg.channel_faults.push_back(
-      {"ch", 1.0, 0.0, 0.0, Time::zero(), Time::zero()});
+      {"ch", 1.0, 0.0, 0.0, Time::zero(), Time::zero(), {}});
   FaultScenario sc(cfg, 1);
 
   minisc::Simulator sim;
@@ -160,7 +372,7 @@ TEST(FaultyChannels, DuplicateAllDeliversEveryMessageTwice) {
   ScenarioConfig cfg;
   cfg.horizon = Time::us(1);
   cfg.channel_faults.push_back(
-      {"ch", 0.0, 1.0, 0.0, Time::zero(), Time::zero()});
+      {"ch", 0.0, 1.0, 0.0, Time::zero(), Time::zero(), {}});
   FaultScenario sc(cfg, 1);
 
   minisc::Simulator sim;
@@ -182,7 +394,7 @@ TEST(FaultyChannels, DelayAllHoldsTheWriter) {
   ScenarioConfig cfg;
   cfg.horizon = Time::us(1);
   cfg.channel_faults.push_back(
-      {"ch", 0.0, 0.0, 1.0, Time::ns(100), Time::ns(100)});
+      {"ch", 0.0, 0.0, 1.0, Time::ns(100), Time::ns(100), {}});
   FaultScenario sc(cfg, 1);
 
   minisc::Simulator sim;
@@ -219,7 +431,7 @@ TEST(FaultyChannels, RendezvousDropUnblocksNoReader) {
   ScenarioConfig cfg;
   cfg.horizon = Time::us(1);
   cfg.channel_faults.push_back(
-      {"rv", 1.0, 0.0, 0.0, Time::zero(), Time::zero()});
+      {"rv", 1.0, 0.0, 0.0, Time::zero(), Time::zero(), {}});
   FaultScenario sc(cfg, 1);
 
   minisc::Simulator sim;
@@ -241,7 +453,7 @@ std::uint64_t lossy_pipeline_hash(std::uint64_t seed) {
   cfg.horizon = Time::us(10);
   cfg.pulses.push_back({"cpu", 3, 5.0, 15.0});
   cfg.channel_faults.push_back(
-      {"*", 0.2, 0.1, 0.2, Time::ns(50), Time::ns(200)});
+      {"*", 0.2, 0.1, 0.2, Time::ns(50), Time::ns(200), {}});
   FaultScenario sc(cfg, seed);
 
   minisc::Simulator sim;

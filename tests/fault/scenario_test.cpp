@@ -16,7 +16,7 @@ ScenarioConfig demo_config() {
   cfg.pulses.push_back({"dsp", 4, 10.0, 20.0});
   cfg.outages.push_back({"cpu0", 3, Time::us(1), Time::us(5)});
   cfg.channel_faults.push_back(
-      {"link", 0.1, 0.05, 0.2, Time::ns(10), Time::ns(500)});
+      {"link", 0.1, 0.05, 0.2, Time::ns(10), Time::ns(500), {}});
   cfg.crashes.push_back({"worker", Time::us(30), Time::us(1)});
   cfg.crashes.push_back({"worker", Time::us(10), Time::us(1)});
   return cfg;
@@ -105,9 +105,9 @@ TEST(Scenario, ChannelStreamDependsOnlyOnSeedAndName) {
 TEST(Scenario, ExactChannelSpecBeatsWildcard) {
   ScenarioConfig cfg;
   cfg.horizon = Time::us(1);
-  cfg.channel_faults.push_back({"*", 0.5, 0.0, 0.0, Time::zero(), Time::zero()});
+  cfg.channel_faults.push_back({"*", 0.5, 0.0, 0.0, Time::zero(), Time::zero(), {}});
   cfg.channel_faults.push_back(
-      {"link", 0.1, 0.0, 0.0, Time::zero(), Time::zero()});
+      {"link", 0.1, 0.0, 0.0, Time::zero(), Time::zero(), {}});
   FaultScenario sc(cfg, 1);
   ASSERT_NE(sc.channel_spec("link"), nullptr);
   EXPECT_DOUBLE_EQ(sc.channel_spec("link")->drop_p, 0.1);
@@ -117,6 +117,121 @@ TEST(Scenario, ExactChannelSpecBeatsWildcard) {
   none.horizon = Time::us(1);
   FaultScenario empty(none, 1);
   EXPECT_EQ(empty.channel_spec("link"), nullptr);
+}
+
+TEST(Rng, BoundedIsUnbiasedAcrossBuckets) {
+  // Lemire rejection sampling: every residue of a non-power-of-two bound must
+  // come up at its fair share. A modulo-biased generator fails the chi-square
+  // bound below for n = 3 (the classic worst case: 2^64 mod 3 != 0).
+  Rng rng(2024);
+  constexpr std::uint64_t kBuckets = 3;
+  constexpr int kDraws = 300000;
+  int counts[kBuckets] = {0, 0, 0};
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t v = rng.bounded(kBuckets);
+    ASSERT_LT(v, kBuckets);
+    ++counts[v];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 2 degrees of freedom: P(chi2 > 13.8) < 0.001. Deterministic generator,
+  // so this either always passes or flags a real bias.
+  EXPECT_LT(chi2, 13.8);
+}
+
+TEST(Rng, BoundedCoversEdges) {
+  Rng rng(7);
+  // Tiny bound: both values must appear, nothing outside.
+  bool saw0 = false, saw1 = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t v = rng.bounded(2);
+    ASSERT_LT(v, 2u);
+    (v == 0 ? saw0 : saw1) = true;
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw1);
+  EXPECT_EQ(rng.bounded(1), 0u);
+  // n == 0 is documented as the full 64-bit range (no crash, no clamp).
+  (void)rng.bounded(0);
+}
+
+TEST(Rng, TimeInReachesBothInclusiveEndpoints) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 4000; ++i) {
+    const Time t = rng.time_in(Time::ps(10), Time::ps(13));
+    ASSERT_GE(t, Time::ps(10));
+    ASSERT_LE(t, Time::ps(13));
+    if (t == Time::ps(10)) saw_lo = true;
+    if (t == Time::ps(13)) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Scenario, StormDrawsClusterInsideWindow) {
+  ScenarioConfig cfg;
+  cfg.horizon = Time::ms(1);
+  cfg.storms.push_back(
+      {"cpu0", 3, 0.9, 6, Time::us(50), Time::us(1), Time::us(2)});
+  FaultScenario sc(cfg, 77);
+  // At least the 3 centres; every member respects the length bounds and the
+  // per-storm cap bounds the total.
+  ASSERT_GE(sc.outages().size(), 3u);
+  EXPECT_LE(sc.outages().size(), 3u * 6u);
+  for (const Outage& o : sc.outages()) {
+    EXPECT_EQ(o.resource, "cpu0");
+    EXPECT_GE(o.length, Time::us(1));
+    EXPECT_LE(o.length, Time::us(2));
+  }
+  EXPECT_TRUE(std::is_sorted(
+      sc.outages().begin(), sc.outages().end(),
+      [](const Outage& a, const Outage& b) { return a.start < b.start; }));
+  // continue_p = 0.9 makes singleton storms vanishingly rare across 3 draws:
+  // the clustered count must exceed the centre count.
+  EXPECT_GT(sc.outages().size(), 3u);
+}
+
+TEST(Scenario, StormMembersStayNearTheirCentre) {
+  // One storm, so every outage belongs to the same cluster: the whole spread
+  // must fit in the window.
+  ScenarioConfig cfg;
+  cfg.horizon = Time::ms(10);
+  cfg.storms.push_back(
+      {"bus", 1, 0.95, 8, Time::us(20), Time::ns(100), Time::ns(100)});
+  FaultScenario sc(cfg, 5);
+  ASSERT_GE(sc.outages().size(), 1u);
+  const Time first = sc.outages().front().start;
+  const Time last = sc.outages().back().start;
+  EXPECT_LT(last - first, Time::us(20));
+}
+
+TEST(Scenario, StormsAreDeterministicAndIndependentOfOtherSpecs) {
+  ScenarioConfig cfg;
+  cfg.horizon = Time::ms(1);
+  cfg.storms.push_back(
+      {"cpu0", 2, 0.8, 5, Time::us(30), Time::us(1), Time::us(1)});
+  FaultScenario a(cfg, 99);
+  ScenarioConfig with_extras = cfg;
+  with_extras.pulses.push_back({"cpu0", 7, 1.0, 2.0});
+  with_extras.channel_faults.push_back(
+      {"ch", 0.5, 0.0, 0.0, Time::zero(), Time::zero(), {}});
+  FaultScenario b(with_extras, 99);
+  // Same seed, unrelated additions: identical storm timeline (sub-stream
+  // discipline). Compare the storm-only scenario against b's cpu0 outages.
+  std::vector<Outage> b_storm;
+  for (const Outage& o : b.outages()) {
+    if (o.resource == "cpu0") b_storm.push_back(o);
+  }
+  ASSERT_EQ(a.outages().size(), b_storm.size());
+  for (std::size_t i = 0; i < b_storm.size(); ++i) {
+    EXPECT_EQ(a.outages()[i].start, b_storm[i].start);
+    EXPECT_EQ(a.outages()[i].length, b_storm[i].length);
+  }
 }
 
 TEST(Rng, UniformStaysInRange) {

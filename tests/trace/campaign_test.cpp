@@ -81,6 +81,183 @@ TEST(Campaign, CsvHasOneRowPerRun) {
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
 }
 
+TEST(Campaign, RuleOfThreeBoundsDegenerateMissRates) {
+  // 0/N misses: the Wald interval collapses to zero width, which is exactly
+  // wrong in the rare-event regime — the report must fall back to 3/N.
+  FaultCampaign none([](std::uint64_t) {
+    CampaignRunResult r;
+    r.deadline_total = 10;
+    r.deadline_missed = 0;
+    return r;
+  });
+  none.run(0, 5);  // 50 deadline checks, 0 missed
+  const CampaignReport rep0 = none.report();
+  EXPECT_DOUBLE_EQ(rep0.miss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(rep0.miss_rate_ci95, 3.0 / 50.0);
+
+  // N/N misses: symmetric degenerate case.
+  FaultCampaign all([](std::uint64_t) {
+    CampaignRunResult r;
+    r.deadline_total = 10;
+    r.deadline_missed = 10;
+    return r;
+  });
+  all.run(0, 5);
+  const CampaignReport rep1 = all.report();
+  EXPECT_DOUBLE_EQ(rep1.miss_rate, 1.0);
+  EXPECT_DOUBLE_EQ(rep1.miss_rate_ci95, 3.0 / 50.0);
+}
+
+TEST(Campaign, CsvSchemaRoundTrips) {
+  FaultCampaign campaign([](std::uint64_t seed) {
+    CampaignRunResult r;
+    r.makespan = Time::ns(1000 + seed);
+    r.deadline_total = 8;
+    r.deadline_missed = 1;
+    r.faults_injected = 3;
+    r.log_weight = -0.5;
+    r.energy_pj = 250.0;
+    r.fault_energy_pj = 40.0;
+    r.value_hash = 0xdeadu;
+    return r;
+  });
+  campaign.run(7, 2);
+  std::ostringstream os;
+  campaign.write_csv(os);
+  std::istringstream in(os.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header,
+            "seed,completed,makespan_ns,deadline_total,deadline_missed,"
+            "faults_injected,recovery_samples,mean_recovery_ns,log_weight,"
+            "weight,energy_pj,fault_energy_pj,value_hash");
+  const std::size_t columns = std::count(header.begin(), header.end(), ',') + 1;
+  std::string row;
+  std::size_t rows = 0;
+  while (std::getline(in, row)) {
+    ++rows;
+    // Every row parses into exactly as many fields as the header names.
+    std::istringstream fields(row);
+    std::string field;
+    std::size_t n = 0;
+    while (std::getline(fields, field, ',')) {
+      EXPECT_FALSE(field.empty());
+      ++n;
+    }
+    EXPECT_EQ(n, columns);
+  }
+  EXPECT_EQ(rows, 2u);
+  // Spot-check the weight column: exp(-0.5) next to its log.
+  EXPECT_NE(os.str().find(",-0.5,"), std::string::npos);
+  std::ostringstream w;
+  w << std::exp(-0.5);
+  EXPECT_NE(os.str().find("," + w.str() + ","), std::string::npos);
+}
+
+TEST(Campaign, WeightedReportRecoversNominalEstimate) {
+  // Three completed runs with hand-picked weights and miss fractions:
+  //   w = {2, 1, 0.5},  m = {0.5, 0.25, 0.0}
+  //   p_hat = mean(w*m) = (1.0 + 0.25 + 0.0) / 3
+  //   ESS   = (sum w)^2 / sum w^2 = 3.5^2 / 5.25 = 7/3
+  const double w[3] = {2.0, 1.0, 0.5};
+  const std::uint64_t missed[3] = {4, 2, 0};
+  FaultCampaign campaign([&](std::uint64_t seed) {
+    CampaignRunResult r;
+    r.deadline_total = 8;
+    r.deadline_missed = missed[seed];
+    r.log_weight = std::log(w[seed]);
+    return r;
+  });
+  campaign.run(0, 3);
+  const CampaignReport rep = campaign.report();
+  EXPECT_TRUE(rep.importance_sampled);
+  EXPECT_NEAR(rep.weighted_miss_rate, (2.0 * 0.5 + 1.0 * 0.25 + 0.0) / 3.0,
+              1e-12);
+  EXPECT_NEAR(rep.effective_sample_size, 3.5 * 3.5 / 5.25, 1e-12);
+  EXPECT_NEAR(rep.mean_weight, 3.5 / 3.0, 1e-12);
+  EXPECT_GT(rep.weighted_miss_rate_ci95, 0.0);
+  // The raw (biased) miss rate is still reported alongside.
+  EXPECT_DOUBLE_EQ(rep.miss_rate, 6.0 / 24.0);
+}
+
+TEST(Campaign, UnweightedRunsStayNaiveMonteCarlo) {
+  FaultCampaign campaign([](std::uint64_t) {
+    CampaignRunResult r;
+    r.deadline_total = 4;
+    r.deadline_missed = 1;
+    return r;  // log_weight defaults to 0
+  });
+  campaign.run(0, 6);
+  const CampaignReport rep = campaign.report();
+  EXPECT_FALSE(rep.importance_sampled);
+  EXPECT_DOUBLE_EQ(rep.weighted_miss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(rep.effective_sample_size, 0.0);
+}
+
+TEST(Campaign, FailedRunsAreExcludedFromWeightsAndEnergy) {
+  FaultCampaign campaign([](std::uint64_t seed) -> CampaignRunResult {
+    if (seed == 1) {
+      throw minisc::SimError(minisc::SimError::Kind::kWallClockBudget,
+                             "wedged");
+    }
+    CampaignRunResult r;
+    r.deadline_total = 10;
+    r.deadline_missed = 5;
+    r.log_weight = std::log(2.0);
+    r.energy_pj = 100.0;
+    r.fault_energy_pj = 10.0;
+    return r;
+  });
+  campaign.run(0, 3);
+  const CampaignReport rep = campaign.report();
+  EXPECT_EQ(rep.failed_runs, 1u);
+  // Means are over the 2 completed runs only; the failed run contributes
+  // neither weight nor energy.
+  EXPECT_NEAR(rep.mean_energy_pj, 100.0, 1e-12);
+  EXPECT_NEAR(rep.mean_fault_energy_pj, 10.0, 1e-12);
+  EXPECT_NEAR(rep.mean_weight, 2.0, 1e-12);
+  EXPECT_NEAR(rep.effective_sample_size, 2.0, 1e-12);  // equal weights
+  // The failed run still shows up in the CSV with completed = 0.
+  std::ostringstream os;
+  campaign.write_csv(os);
+  EXPECT_NE(os.str().find("\n1,0,"), std::string::npos);
+}
+
+TEST(CampaignSweep, RunsEveryCellAndExposesTheGrid) {
+  // Miss rate encodes the cell so the grid lookup is checkable: mapping
+  // "a" misses nothing, mapping "b" misses everything under scenario "y".
+  sctrace::CampaignSweep sweep(
+      {"a", "b"}, {"x", "y"},
+      [](const std::string& mapping, const std::string& scenario) {
+        const bool miss = (mapping == "b" && scenario == "y");
+        return [miss](std::uint64_t) {
+          CampaignRunResult r;
+          r.deadline_total = 4;
+          r.deadline_missed = miss ? 4 : 0;
+          r.makespan = Time::us(1);
+          return r;
+        };
+      });
+  sweep.run(0, 3);
+  ASSERT_EQ(sweep.cells().size(), 4u);
+  ASSERT_NE(sweep.cell("b", "y"), nullptr);
+  EXPECT_DOUBLE_EQ(sweep.cell("b", "y")->miss_rate, 1.0);
+  EXPECT_DOUBLE_EQ(sweep.cell("a", "x")->miss_rate, 0.0);
+  EXPECT_EQ(sweep.cell("a", "z"), nullptr);
+
+  std::ostringstream grid;
+  sweep.print(grid);
+  EXPECT_NE(grid.str().find("mapping"), std::string::npos);
+  EXPECT_NE(grid.str().find("100.00"), std::string::npos);
+
+  std::ostringstream os;
+  sweep.write_csv(os);
+  const std::string csv = os.str();
+  // header + 4 cells
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+  EXPECT_NE(csv.find("b,y,3,0,12,12,1,"), std::string::npos);
+}
+
 TEST(Campaign, MeanCi95MatchesFormula) {
   Summary s;
   s.count = 25;
