@@ -22,12 +22,18 @@
 // burst vs storm) closes the loop back to the paper's design-space
 // exploration: which mapping stays schedulable under which fault regime.
 //
-// Usage: ablation_fault_correlated [scale_pct]
+// Usage: ablation_fault_correlated [scale_pct] [--threads N]
 //   scale_pct (default 100) scales every campaign's run count; the CI smoke
 //   run uses a small value and then only the determinism gate is asserted.
+//   --threads N runs every campaign on an N-worker pool and adds a speedup
+//   section: the burst campaign is timed sequentially and threaded, the two
+//   CSVs must be byte-identical (the determinism gate of the parallel
+//   executor), and the wall-clock ratio is reported.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -237,16 +243,39 @@ RunOptions scenario_options(const std::string& name, bool split_cpu) {
   return opt;
 }
 
+/// Campaign execution options for the whole bench, set by --threads.
+sctrace::CampaignOptions g_campaign_opts;
+
 sctrace::CampaignReport campaign(const RunOptions& opt, std::uint64_t seed,
                                  std::size_t n, const char* csv_name) {
   sctrace::FaultCampaign c(
       [&opt](std::uint64_t s) { return run_stream(s, opt); });
-  c.run(seed, n);
+  c.run(seed, n, g_campaign_opts);
   if (csv_name != nullptr) {
     std::ofstream csv(csv_name);
     c.write_csv(csv);
   }
   return c.report();
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Times one burst campaign run with the given options and returns its CSV
+/// (for the byte-identical gate) alongside the wall-clock seconds.
+std::string timed_burst_csv(std::size_t n, const sctrace::CampaignOptions& o,
+                            std::uint64_t seed, double* seconds) {
+  const RunOptions opt = scenario_options("burst", /*split_cpu=*/false);
+  sctrace::FaultCampaign c(
+      [&opt](std::uint64_t s) { return run_stream(s, opt); });
+  const auto t0 = std::chrono::steady_clock::now();
+  c.run(seed, n, o);
+  *seconds = seconds_since(t0);
+  std::ostringstream csv;
+  c.write_csv(csv);
+  return csv.str();
 }
 
 std::size_t scaled(std::size_t n, int pct) {
@@ -257,13 +286,24 @@ std::size_t scaled(std::size_t n, int pct) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int pct = argc > 1 ? std::atoi(argv[1]) : 100;
+  int pct = 100;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_campaign_opts.threads =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      pct = std::atoi(argv[i]);
+    }
+  }
   const bool full = pct >= 100;
   constexpr std::uint64_t kSeed = 42;
   bool ok = true;
 
-  std::printf("Correlated-fault ablation, %d-frame stream, scale %d%%\n\n",
-              kFrames, pct);
+  std::printf("Correlated-fault ablation, %d-frame stream, scale %d%%, "
+              "%zu campaign thread(s)\n\n",
+              kFrames, pct,
+              g_campaign_opts.threads == 0 ? std::size_t{1}
+                                           : g_campaign_opts.threads);
 
   // -- determinism gate ----------------------------------------------------
   const RunOptions det = scenario_options("burst", /*split_cpu=*/false);
@@ -277,6 +317,27 @@ int main(int argc, char** argv) {
   std::printf("determinism: seed %llu replayed identically (hash %016llx)\n\n",
               static_cast<unsigned long long>(kSeed),
               static_cast<unsigned long long>(a.value_hash));
+
+  // -- parallel execution: byte-identical output, wall-clock speedup -------
+  if (g_campaign_opts.threads > 1) {
+    const std::size_t n_par = scaled(150, pct);
+    double seq_s = 0.0, par_s = 0.0;
+    const std::string seq_csv =
+        timed_burst_csv(n_par, sctrace::CampaignOptions{}, kSeed, &seq_s);
+    const std::string par_csv =
+        timed_burst_csv(n_par, g_campaign_opts, kSeed, &par_s);
+    if (par_csv != seq_csv) {
+      std::printf("FAIL: %zu-thread campaign CSV differs from sequential\n",
+                  g_campaign_opts.threads);
+      return 1;
+    }
+    std::printf("== parallel campaign, %zu runs ==\n", n_par);
+    std::printf("  sequential      %.3f s\n", seq_s);
+    std::printf("  %2zu threads      %.3f s  -> speedup %.2fx "
+                "(CSV byte-identical)\n\n",
+                g_campaign_opts.threads, par_s,
+                par_s > 0.0 ? seq_s / par_s : 0.0);
+  }
 
   // -- 1. burst vs rate-matched i.i.d. -------------------------------------
   const std::size_t n_ab = scaled(150, pct);
@@ -351,7 +412,7 @@ int main(int argc, char** argv) {
             scenario_options(scenario, mapping == "split_cpu");
         return [opt](std::uint64_t s) { return run_stream(s, opt); };
       });
-  sweep.run(kSeed, n_sweep);
+  sweep.run(kSeed, n_sweep, g_campaign_opts);
   std::ostringstream grid;
   sweep.print(grid);
   std::fputs(grid.str().c_str(), stdout);

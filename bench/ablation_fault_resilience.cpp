@@ -16,9 +16,19 @@
 // per run. A same-seed double run asserts bit-identical capture hashes —
 // the determinism contract that makes campaign results reproducible.
 
+//
+// Usage: ablation_fault_resilience [--threads N]
+//   --threads N runs each campaign on an N-worker pool; output is
+//   byte-identical to the sequential run (verified for the resilient
+//   campaign) and the wall-clock speedup is reported.
+
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <vector>
 
 #include "core/capture.hpp"
@@ -207,11 +217,13 @@ CampaignRunResult run_pipeline(std::uint64_t seed, bool resilient) {
   return r;
 }
 
+sctrace::CampaignOptions g_campaign_opts;
+
 void run_campaign(const char* label, bool resilient, std::uint64_t base_seed,
                   std::size_t n) {
   sctrace::FaultCampaign campaign(
       [resilient](std::uint64_t seed) { return run_pipeline(seed, resilient); });
-  campaign.run(base_seed, n);
+  campaign.run(base_seed, n, g_campaign_opts);
 
   std::printf("== %s mapping ==\n", label);
   std::ostringstream report;
@@ -226,9 +238,16 @@ void run_campaign(const char* label, bool resilient, std::uint64_t base_seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::uint64_t kBaseSeed = 1000;
   constexpr std::size_t kRuns = 24;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_campaign_opts.threads =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+    }
+  }
 
   std::printf(
       "Fault-resilience ablation: %d-frame pipeline, %zu seeded scenarios\n"
@@ -247,6 +266,35 @@ int main() {
               "(hash %016llx)\n\n",
               static_cast<unsigned long long>(kBaseSeed),
               static_cast<unsigned long long>(a.value_hash));
+
+  // Parallel gate: the threaded resilient campaign must emit the sequential
+  // CSV byte-for-byte; report the wall-clock ratio while we have both runs.
+  if (g_campaign_opts.threads > 1) {
+    auto timed_csv = [&](const sctrace::CampaignOptions& o, double* seconds) {
+      sctrace::FaultCampaign c(
+          [](std::uint64_t seed) { return run_pipeline(seed, true); });
+      const auto t0 = std::chrono::steady_clock::now();
+      c.run(kBaseSeed, kRuns, o);
+      *seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+      std::ostringstream os;
+      c.write_csv(os);
+      return os.str();
+    };
+    double seq_s = 0.0, par_s = 0.0;
+    const std::string seq_csv = timed_csv(sctrace::CampaignOptions{}, &seq_s);
+    const std::string par_csv = timed_csv(g_campaign_opts, &par_s);
+    if (par_csv != seq_csv) {
+      std::printf("FAIL: %zu-thread campaign CSV differs from sequential\n",
+                  g_campaign_opts.threads);
+      return 1;
+    }
+    std::printf("parallel gate: %zu threads byte-identical, %.3f s vs "
+                "%.3f s sequential (speedup %.2fx)\n\n",
+                g_campaign_opts.threads, par_s, seq_s,
+                par_s > 0.0 ? seq_s / par_s : 0.0);
+  }
 
   run_campaign("non_resilient", /*resilient=*/false, kBaseSeed, kRuns);
   run_campaign("resilient", /*resilient=*/true, kBaseSeed, kRuns);

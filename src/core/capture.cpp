@@ -14,14 +14,19 @@ CaptureRegistry& CaptureRegistry::global() {
   return g;
 }
 
-void CaptureRegistry::attach(CapturePoint& p) { points_.push_back(&p); }
+void CaptureRegistry::attach(CapturePoint& p) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  points_.push_back(&p);
+}
 
 void CaptureRegistry::detach(CapturePoint& p) {
+  const std::lock_guard<std::mutex> lock(mu_);
   points_.erase(std::remove(points_.begin(), points_.end(), &p),
                 points_.end());
 }
 
 const CapturePoint* CaptureRegistry::find(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (const CapturePoint* p : points_) {
     if (p->name() == name) return p;
   }
@@ -29,6 +34,7 @@ const CapturePoint* CaptureRegistry::find(const std::string& name) const {
 }
 
 void CaptureRegistry::write_csv(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   os << "time_ns,point,value\n";
   for (const CapturePoint* p : points_) {
     for (const CaptureEvent& e : p->events()) {
@@ -38,6 +44,7 @@ void CaptureRegistry::write_csv(std::ostream& os) const {
 }
 
 void CaptureRegistry::write_matlab(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   os << "% scperf capture-point event lists\n";
   for (const CapturePoint* p : points_) {
     // Sanitise the point name into a Matlab identifier.
@@ -54,6 +61,7 @@ void CaptureRegistry::write_matlab(std::ostream& os) const {
 }
 
 std::uint64_t CaptureRegistry::value_sequence_hash() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   // FNV-1a per point (order-sensitive within a point), XOR-combined across
   // points (order-insensitive between points, since the strict-timed run may
   // legally interleave independent processes differently).
@@ -76,6 +84,7 @@ std::uint64_t CaptureRegistry::value_sequence_hash() const {
 }
 
 void CaptureRegistry::clear_events() {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (CapturePoint* p : points_) p->clear();
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,14 @@ class CapturePoint;
 
 /// Owns the set of capture points of one analysis session and renders their
 /// event lists "prepared for post-processing using mathematical tools" (§4).
+/// Concurrency: registration (attach/detach, i.e. CapturePoint construction
+/// and destruction) and the whole-registry readers below are mutex-guarded,
+/// so capture points may be created and destroyed from pool workers — in
+/// particular against the process-wide global() registry — without racing.
+/// Recording itself writes only the point's own event list, which belongs to
+/// exactly one run; parallel campaign runs must therefore keep one
+/// CaptureRegistry per run (DESIGN.md §7) or their points' events interleave
+/// into one shared hash.
 class CaptureRegistry {
  public:
   /// Process-wide default registry (capture points register here unless given
@@ -31,6 +40,8 @@ class CaptureRegistry {
   void attach(CapturePoint& p);
   void detach(CapturePoint& p);
 
+  /// Unsynchronised view: only meaningful while no other thread is
+  /// attaching or detaching points.
   const std::vector<CapturePoint*>& points() const { return points_; }
   const CapturePoint* find(const std::string& name) const;
 
@@ -49,6 +60,7 @@ class CaptureRegistry {
   void clear_events();
 
  private:
+  mutable std::mutex mu_;  ///< guards points_ (the pointer list, not events)
   std::vector<CapturePoint*> points_;
 };
 

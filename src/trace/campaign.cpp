@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <ostream>
 
+#include "core/pool.hpp"
 #include "kernel/error.hpp"
 
 namespace sctrace {
@@ -14,9 +15,15 @@ double mean_ci95(const Summary& s) {
   return 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
 }
 
-void FaultCampaign::run(std::uint64_t base_seed, std::size_t n) {
-  results_.reserve(results_.size() + n);
-  for (std::size_t i = 0; i < n; ++i) {
+void FaultCampaign::run(std::uint64_t base_seed, std::size_t n,
+                        const CampaignOptions& opts) {
+  // Pre-sized slot array: run i (seed base_seed + i) writes slot offset + i
+  // and nothing else, so the assembled results — and therefore report() and
+  // write_csv() — are identical whether the slots fill on one thread or
+  // eight, in any interleaving.
+  const std::size_t offset = results_.size();
+  results_.resize(offset + n);
+  auto run_one = [&](std::size_t i) {
     const std::uint64_t seed = base_seed + i;
     CampaignRunResult r;
     try {
@@ -28,7 +35,13 @@ void FaultCampaign::run(std::uint64_t base_seed, std::size_t n) {
       r.completed = false;
       r.error = e.what();
     }
-    results_.push_back(std::move(r));
+    results_[offset + i] = std::move(r);
+  };
+  if (opts.threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    scperf::ThreadPool pool(opts.threads);
+    pool.parallel_for(n, opts.chunk, run_one);
   }
 }
 
@@ -145,13 +158,14 @@ void FaultCampaign::write_csv(std::ostream& os) const {
   }
 }
 
-void CampaignSweep::run(std::uint64_t base_seed, std::size_t n) {
+void CampaignSweep::run(std::uint64_t base_seed, std::size_t n,
+                        const CampaignOptions& opts) {
   cells_.clear();
   cells_.reserve(mappings_.size() * scenarios_.size());
   for (const std::string& m : mappings_) {
     for (const std::string& s : scenarios_) {
       FaultCampaign campaign(factory_(m, s));
-      campaign.run(base_seed, n);
+      campaign.run(base_seed, n, opts);
       cells_.push_back(Cell{m, s, campaign.report()});
     }
   }

@@ -102,6 +102,19 @@ struct CampaignReport {
 /// Half-width of the normal-approximation 95% CI of a sample mean.
 double mean_ci95(const Summary& s);
 
+/// Execution options for campaign drivers. The default is the legacy
+/// sequential path (no pool, runs execute on the calling thread); threads
+/// > 1 runs the seeds on a scperf::ThreadPool with every run writing into
+/// its pre-sized result slot, so results order, report fields and CSV bytes
+/// are identical for ANY thread count. The run function must then be
+/// thread-safe: build everything per-run (one Simulator/Estimator/scenario/
+/// CaptureRegistry per call) and share nothing mutable between calls — the
+/// concurrency contract of DESIGN.md §7.
+struct CampaignOptions {
+  std::size_t threads = 0;  ///< 0 or 1 = sequential on the calling thread
+  std::size_t chunk = 1;    ///< consecutive seeds claimed by a worker at once
+};
+
 /// Resilience-campaign driver: runs one seeded experiment N times and
 /// aggregates deadline-miss rate, makespan distribution and recovery
 /// latency. The run function builds a fresh Simulator/Estimator/scenario
@@ -122,8 +135,15 @@ class FaultCampaign {
 
   explicit FaultCampaign(RunFn fn) : fn_(std::move(fn)) {}
 
-  /// Runs seeds base_seed .. base_seed + n - 1.
-  void run(std::uint64_t base_seed, std::size_t n);
+  /// Runs seeds base_seed .. base_seed + n - 1. With opts.threads > 1 the
+  /// seeds run on a thread pool; every seed's result lands in its own slot,
+  /// so results()/report()/write_csv() are byte-identical to the sequential
+  /// path regardless of thread count. A minisc::SimError thrown by any run
+  /// is recorded as a failed run in either mode; any other exception
+  /// propagates (parallel mode finishes in-flight runs first and leaves
+  /// unreached slots default-constructed).
+  void run(std::uint64_t base_seed, std::size_t n,
+           const CampaignOptions& opts = {});
 
   const std::vector<CampaignRunResult>& results() const { return results_; }
   CampaignReport report() const;
@@ -162,8 +182,11 @@ class CampaignSweep {
 
   /// Runs every cell's campaign with the same base seed and run count —
   /// common random numbers across cells, so cell differences are design
-  /// differences, not sampling noise.
-  void run(std::uint64_t base_seed, std::size_t n);
+  /// differences, not sampling noise. Cells execute in grid order; within a
+  /// cell the seeds are parallelised per `opts` (grid layout, reports and
+  /// CSV are thread-count-invariant, like FaultCampaign::run).
+  void run(std::uint64_t base_seed, std::size_t n,
+           const CampaignOptions& opts = {});
 
   const std::vector<Cell>& cells() const { return cells_; }
   const CampaignReport* cell(const std::string& mapping,
