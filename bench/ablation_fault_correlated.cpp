@@ -246,13 +246,19 @@ RunOptions scenario_options(const std::string& name, bool split_cpu) {
 /// Campaign execution options for the whole bench, set by --threads.
 sctrace::CampaignOptions g_campaign_opts;
 
+/// CSV artifacts land next to the binary (build/bench/), not in the
+/// caller's cwd, so runs never litter the source tree.
+std::string g_out_dir;
+
+std::string out_path(const char* name) { return g_out_dir + name; }
+
 sctrace::CampaignReport campaign(const RunOptions& opt, std::uint64_t seed,
                                  std::size_t n, const char* csv_name) {
   sctrace::FaultCampaign c(
       [&opt](std::uint64_t s) { return run_stream(s, opt); });
   c.run(seed, n, g_campaign_opts);
   if (csv_name != nullptr) {
-    std::ofstream csv(csv_name);
+    std::ofstream csv(out_path(csv_name));
     c.write_csv(csv);
   }
   return c.report();
@@ -286,6 +292,9 @@ std::size_t scaled(std::size_t n, int pct) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (const char* slash = std::strrchr(argv[0], '/')) {
+    g_out_dir.assign(argv[0], static_cast<std::size_t>(slash - argv[0]) + 1);
+  }
   int pct = 100;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -416,9 +425,10 @@ int main(int argc, char** argv) {
   std::ostringstream grid;
   sweep.print(grid);
   std::fputs(grid.str().c_str(), stdout);
-  std::ofstream csv("fault_correlated_sweep.csv");
+  std::ofstream csv(out_path("fault_correlated_sweep.csv"));
   sweep.write_csv(csv);
-  std::printf("  per-cell rows -> fault_correlated_sweep.csv\n\n");
+  std::printf("  per-cell rows -> %s\n\n",
+              out_path("fault_correlated_sweep.csv").c_str());
 
   if (full && !ok) {
     std::printf("FAIL: an acceptance check above did not hold\n");

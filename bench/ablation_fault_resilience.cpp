@@ -219,6 +219,10 @@ CampaignRunResult run_pipeline(std::uint64_t seed, bool resilient) {
 
 sctrace::CampaignOptions g_campaign_opts;
 
+/// CSV artifacts land next to the binary (build/bench/), not in the
+/// caller's cwd, so runs never litter the source tree.
+std::string g_out_dir;
+
 void run_campaign(const char* label, bool resilient, std::uint64_t base_seed,
                   std::size_t n) {
   sctrace::FaultCampaign campaign(
@@ -230,7 +234,8 @@ void run_campaign(const char* label, bool resilient, std::uint64_t base_seed,
   campaign.report().print(report);
   std::fputs(report.str().c_str(), stdout);
 
-  std::string csv_name = std::string("fault_resilience_") + label + ".csv";
+  std::string csv_name =
+      g_out_dir + "fault_resilience_" + label + ".csv";
   std::ofstream csv(csv_name);
   campaign.write_csv(csv);
   std::printf("  per-run rows -> %s\n\n", csv_name.c_str());
@@ -242,6 +247,9 @@ int main(int argc, char** argv) {
   constexpr std::uint64_t kBaseSeed = 1000;
   constexpr std::size_t kRuns = 24;
 
+  if (const char* slash = std::strrchr(argv[0], '/')) {
+    g_out_dir.assign(argv[0], static_cast<std::size_t>(slash - argv[0]) + 1);
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       g_campaign_opts.threads =

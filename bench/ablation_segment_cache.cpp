@@ -1,0 +1,580 @@
+// Ablation J (DESIGN.md §4, EXPERIMENTS.md): the segment replay cache.
+//
+// Two modes in one binary:
+//
+//   --verify    Equivalence + engagement gates (the CI gate): every workload
+//               the table*/fig* benches estimate is run twice — replay cache
+//               enabled and disabled — and the estimator outputs (report
+//               bytes, CSV bytes, bit patterns of the cycle estimates) must
+//               be byte-identical. Campaign CSV/report are checked for
+//               threads in {seq, 1, 8}, and fault-injected resources are
+//               checked to never engage the cache. Exits non-zero on any
+//               divergence.
+//
+//   --speedup   Chrono-measured active-charging speedup of the replay path
+//               on a loop-heavy FIR kernel; exits non-zero below the gate
+//               (2x). Run separately from --verify so an equivalence failure
+//               is never masked by a timing failure or vice versa.
+//
+//   (default)   google-benchmark timings of the same kernels, for
+//               --benchmark_format=json perf tracking.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scperf.hpp"
+#include "core/segment_cache.hpp"
+#include "fault/injector.hpp"
+#include "trace/campaign.hpp"
+#include "workloads/hw_segments.hpp"
+#include "workloads/table1.hpp"
+#include "workloads/vocoder/pipeline.hpp"
+
+using minisc::Time;
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+/// Bit pattern of a double — equality of estimates must be exact, not
+/// approximate, for the byte-identity claim.
+std::uint64_t bits(double v) {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+scperf::SegmentCacheConfig cache_config(bool enabled) {
+  scperf::SegmentCacheConfig cfg;
+  cfg.enabled = enabled;
+  return cfg;
+}
+
+/// The deterministic artifacts of one estimator run: everything the table*/
+/// fig* benches derive their figures from (host times excluded — those are
+/// measurements of the host, not outputs of the estimator).
+struct Artifacts {
+  std::string report_text;
+  std::string segment_csv;
+  std::string process_csv;
+  std::string resource_csv;
+  std::vector<std::uint64_t> cycle_bits;
+  long checksum = 0;
+  std::uint64_t sim_time_ps = 0;
+  scperf::SegmentCacheStats cache;
+
+  bool operator==(const Artifacts& o) const {
+    return report_text == o.report_text && segment_csv == o.segment_csv &&
+           process_csv == o.process_csv && resource_csv == o.resource_csv &&
+           cycle_bits == o.cycle_bits && checksum == o.checksum &&
+           sim_time_ps == o.sim_time_ps;
+  }
+};
+
+Artifacts collect(const scperf::Estimator& est, minisc::Simulator& sim,
+                  const std::vector<std::string>& processes, long checksum) {
+  Artifacts a;
+  const scperf::Report rep = est.report();
+  std::ostringstream os;
+  rep.print(os);
+  a.report_text = os.str();
+  os.str("");
+  rep.write_csv(os);
+  a.segment_csv = os.str();
+  os.str("");
+  rep.write_process_csv(os);
+  a.process_csv = os.str();
+  os.str("");
+  rep.write_resource_csv(os);
+  a.resource_csv = os.str();
+  for (const std::string& p : processes) {
+    a.cycle_bits.push_back(bits(est.process_cycles(p)));
+    a.cycle_bits.push_back(bits(est.process_energy_pj(p)));
+  }
+  a.checksum = checksum;
+  a.sim_time_ps = static_cast<std::uint64_t>(sim.now().to_ps());
+  a.cache = est.segment_cache_stats();
+  return a;
+}
+
+// ---- gate 1: Table 1 suite (SW estimation) ------------------------------
+
+/// Runs one Table-1 benchmark as a looping process (reps segments) on a SW
+/// resource, with the cache forced on or off.
+Artifacts run_table1(const workloads::Benchmark& b, bool cached) {
+  minisc::Simulator sim;
+  scperf::Estimator est(sim);
+  est.set_segment_cache_config(cache_config(cached));
+  auto& cpu = est.add_sw_resource("cpu", 50.0, scperf::orsim_sw_cost_table());
+  est.map(b.name, cpu);
+  long checksum = 0;
+  sim.spawn(b.name, [&] {
+    // Five repetitions separated by timed waits: the wait->wait segments
+    // re-execute the identical op stream, which is exactly what the replay
+    // cache memoizes in the real loop-heavy workloads.
+    for (int rep = 0; rep < 5; ++rep) {
+      checksum += b.annotated();
+      minisc::wait(Time::us(1));
+    }
+  });
+  sim.run();
+  return collect(est, sim, {b.name}, checksum);
+}
+
+void gate_table1() {
+  std::printf("-- gate: table1 suite (SW), cached vs uncached --\n");
+  for (const auto& b : workloads::table1_suite()) {
+    const Artifacts off = run_table1(b, false);
+    const Artifacts on = run_table1(b, true);
+    check(on == off, b.name + ": estimator outputs byte-identical");
+    check(on.cache.hits > 0, b.name + ": cache engaged (hits > 0)");
+    check(off.cache.hits + off.cache.misses == 0,
+          b.name + ": disabled cache never engaged");
+  }
+}
+
+// ---- gate 2: Table 2 / Table 4 HW segments (structural bypass) ----------
+
+Artifacts run_hw_segment(const workloads::HwSegment& seg, bool cached,
+                         bool record_dfg) {
+  minisc::Simulator sim;
+  scperf::Estimator est(sim);
+  est.set_segment_cache_config(cache_config(cached));
+  auto& hw = est.add_hw_resource(
+      "hw", 100.0, scperf::asic_hw_cost_table(),
+      {.k = 0.5, .record_dfg = record_dfg});
+  est.map(seg.name, hw);
+  long checksum = 0;
+  sim.spawn(seg.name, [&] {
+    for (int rep = 0; rep < 3; ++rep) {
+      checksum += seg.body();
+      minisc::wait(Time::us(1));
+    }
+  });
+  sim.run();
+  return collect(est, sim, {seg.name}, checksum);
+}
+
+void gate_hw_segments() {
+  std::printf("-- gate: table2/table4 HW segments (ready tracking) --\n");
+  for (const auto& seg :
+       {workloads::fir_hw_segment(), workloads::euler_hw_segment()}) {
+    for (const bool dfg : {false, true}) {
+      const std::string label =
+          seg.name + (dfg ? " (record_dfg)" : " (track_ready)");
+      const Artifacts off = run_hw_segment(seg, false, dfg);
+      const Artifacts on = run_hw_segment(seg, true, dfg);
+      check(on == off, label + ": outputs byte-identical");
+      check(on.cache.hits + on.cache.misses == 0,
+            label + ": cache structurally bypassed on HW");
+    }
+  }
+}
+
+// ---- gate 3: vocoder pipeline (Table 3 / Table 4 / Fig 4 configs) -------
+
+/// run_annotated constructs its own Estimator, so the cache is toggled the
+/// way a user would: through the environment.
+workloads::vocoder::AnnotatedResult run_vocoder(
+    const workloads::vocoder::PipelineConfig& cfg, bool cached) {
+  setenv("SCPERF_SEGMENT_CACHE", cached ? "1" : "0", 1);
+  auto result = workloads::vocoder::run_annotated(cfg);
+  unsetenv("SCPERF_SEGMENT_CACHE");
+  return result;
+}
+
+void gate_vocoder() {
+  std::printf("-- gate: vocoder pipeline (table3/table4/fig4 configs) --\n");
+  struct Case {
+    const char* name;
+    workloads::vocoder::PipelineConfig cfg;
+  };
+  const Case cases[] = {
+      {"table3 1cpu", {.frames = 6}},
+      {"table3 2cpu+rtos",
+       {.frames = 6, .rtos_cycles_per_switch = 90.0, .num_cpus = 2}},
+      {"table4 hw k=0", {.frames = 6, .postproc_on_hw = true, .hw_k = 0.0}},
+      {"fig4 hw k=0.5", {.frames = 6, .postproc_on_hw = true, .hw_k = 0.5}},
+      {"fig4 hw k=1", {.frames = 6, .postproc_on_hw = true, .hw_k = 1.0}},
+      {"energy", {.frames = 6, .with_energy = true}},
+  };
+  for (const Case& c : cases) {
+    const auto off = run_vocoder(c.cfg, false);
+    const auto on = run_vocoder(c.cfg, true);
+    std::ostringstream ros_off, ros_on, csv_off, csv_on;
+    off.report.print(ros_off);
+    on.report.print(ros_on);
+    off.report.write_csv(csv_off);
+    on.report.write_csv(csv_on);
+    bool cycles_equal = on.checksum == off.checksum &&
+                        on.sim_time == off.sim_time &&
+                        on.process_cycles.size() == off.process_cycles.size();
+    if (cycles_equal) {
+      for (const auto& [name, cyc] : off.process_cycles) {
+        const auto it = on.process_cycles.find(name);
+        cycles_equal &= it != on.process_cycles.end() &&
+                        bits(it->second) == bits(cyc);
+      }
+      for (const auto& [name, pj] : off.process_energy_pj) {
+        const auto it = on.process_energy_pj.find(name);
+        cycles_equal &= it != on.process_energy_pj.end() &&
+                        bits(it->second) == bits(pj);
+      }
+    }
+    check(cycles_equal && ros_on.str() == ros_off.str() &&
+              csv_on.str() == csv_off.str(),
+          std::string(c.name) + ": outputs byte-identical");
+    std::uint64_t hits = 0;
+    for (const auto& row : on.report.cache) hits += row.hits;
+    check(hits > 0, std::string(c.name) + ": cache engaged (hits > 0)");
+  }
+}
+
+// ---- gate 4: campaigns, threads in {seq, 1, 8} --------------------------
+
+/// A seeded producer/consumer campaign run. With `faults`, pulses hammer the
+/// CPU (making it memo-unsafe); without, the cache engages. The seed varies
+/// the per-item workload, so segments have data-dependent op streams.
+sctrace::FaultCampaign::RunFn make_campaign_run(bool cached, bool faults) {
+  return [cached, faults](std::uint64_t seed) {
+    minisc::Simulator sim;
+    scperf::Estimator est(sim);
+    est.set_segment_cache_config(cache_config(cached));
+    auto& cpu =
+        est.add_sw_resource("cpu", 100.0, scperf::orsim_sw_cost_table());
+    est.map("producer", cpu);
+    est.map("consumer", cpu);
+
+    scfault::ScenarioConfig cfg;
+    cfg.horizon = Time::ms(1);
+    if (faults) {
+      cfg.pulses.push_back({"cpu", 2, 150.0, 500.0});
+      cfg.pulses.push_back({"cpu", 3, 150.0, 700.0});
+    }
+    scfault::FaultScenario scenario(cfg, seed);
+    std::optional<scfault::FaultInjector> inj;
+    if (faults) inj.emplace(sim, est, scenario);
+
+    minisc::Fifo<int> data("data", 16);
+    constexpr int kItems = 24;
+    const Time deadline = Time::us(6);
+    sctrace::CampaignRunResult r;
+    r.deadline_total = kItems;
+    Time last;
+    sim.spawn("producer", [&] {
+      for (int i = 0; i < kItems; ++i) {
+        // Data-dependent inner loop: three distinct op-stream shapes per
+        // seed stream exercise the control-path signature.
+        const int shape = static_cast<int>((seed + i) % 3);
+        scperf::gint acc(scperf::detail::RawTag{}, 0);
+        for (int k = 0; k < 40 + 15 * shape; ++k) acc = acc + k * 3;
+        data.write(acc.value());
+      }
+    });
+    sim.spawn("consumer", [&] {
+      for (int i = 0; i < kItems; ++i) {
+        const Time t0 = minisc::now();
+        scperf::gint v(scperf::detail::RawTag{}, data.read());
+        scperf::gint acc(scperf::detail::RawTag{}, 0);
+        for (int k = 0; k < 30; ++k) acc = acc + v * 2;
+        last = minisc::now();
+        if (last - t0 > deadline) ++r.deadline_missed;
+      }
+    });
+    sim.run(Time::ms(2));
+    r.makespan = last;
+    if (inj) r.faults_injected = inj->pulses_injected();
+    r.energy_pj = est.total_energy_pj();
+    r.fault_energy_pj = est.fault_energy_pj();
+    const scperf::SegmentCacheStats cs = est.segment_cache_stats();
+    r.cache_hits = cs.hits;
+    r.cache_misses = cs.misses;
+    r.cache_bypassed = cs.bypassed;
+    r.cache_cycles_saved = cs.cycles_saved;
+    return r;
+  };
+}
+
+struct CampaignArtifacts {
+  std::string csv;
+  std::string report;
+  sctrace::CampaignReport rep;
+};
+
+CampaignArtifacts run_campaign(bool cached, bool faults, std::size_t threads) {
+  sctrace::FaultCampaign campaign(make_campaign_run(cached, faults));
+  campaign.run(/*base_seed=*/7, /*n=*/12, {.threads = threads});
+  CampaignArtifacts a;
+  std::ostringstream os;
+  campaign.write_csv(os);
+  a.csv = os.str();
+  os.str("");
+  campaign.report().print(os);
+  a.report = os.str();
+  a.rep = campaign.report();
+  return a;
+}
+
+void gate_campaign() {
+  std::printf("-- gate: campaign CSV/report, threads in {seq, 1, 8} --\n");
+  for (const bool faults : {false, true}) {
+    const char* kind = faults ? "faulted" : "fault-free";
+    for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                      std::size_t{8}}) {
+      const CampaignArtifacts off = run_campaign(false, faults, threads);
+      const CampaignArtifacts on = run_campaign(true, faults, threads);
+      const std::string label =
+          std::string(kind) + " threads=" + std::to_string(threads);
+      check(on.csv == off.csv && on.report == off.report,
+            label + ": campaign CSV/report byte-identical");
+      if (faults) {
+        check(on.rep.cache_hits + on.rep.cache_misses == 0,
+              label + ": cache never engaged on fault-injected resource");
+        check(on.rep.cache_bypassed > 0,
+              label + ": bypasses counted on fault-injected resource");
+      } else {
+        check(on.rep.cache_hits > 0, label + ": cache engaged (hits > 0)");
+      }
+    }
+  }
+}
+
+// ---- gate 5: validate mode ----------------------------------------------
+
+void gate_validate_mode() {
+  std::printf("-- gate: SCPERF_CACHE_VALIDATE cross-check --\n");
+  scperf::SegmentCacheConfig cfg;
+  cfg.enabled = true;
+  cfg.validate = true;
+  minisc::Simulator sim;
+  scperf::Estimator est(sim);
+  est.set_segment_cache_config(cfg);
+  auto& cpu = est.add_sw_resource("cpu", 50.0, scperf::orsim_sw_cost_table());
+  est.map("fir", cpu);
+  const auto b = workloads::make_fir();
+  sim.spawn("fir", [&] {
+    for (int rep = 0; rep < 4; ++rep) {
+      b.annotated();
+      minisc::wait(Time::us(1));
+    }
+  });
+  bool threw = false;
+  try {
+    sim.run();
+  } catch (const std::logic_error&) {
+    threw = true;
+  }
+  const scperf::SegmentCacheStats cs = est.segment_cache_stats();
+  check(!threw, "validate mode: no mismatch on a sound cache");
+  check(cs.validated > 0, "validate mode: cross-checks executed");
+  check(cs.hits == 0, "validate mode: replay never applied");
+}
+
+// ---- speedup gate -------------------------------------------------------
+
+/// The loop-heavy kernel: one vocoder-style 16-tap FIR pass over 64 samples
+/// (~2k charges per segment) — the op-stream shape that dominates the
+/// table3 host-time column.
+long fir_kernel(scperf::garray<int>& x, scperf::garray<int>& h) {
+  scperf::gint acc(scperf::detail::RawTag{}, 0);
+  for (int n = 0; n < 64; ++n) {
+    scperf::gint y(scperf::detail::RawTag{}, 0);
+    for (int t = 0; t < 16; ++t) {
+      y += x[static_cast<std::size_t>(n + t)] *
+           h[static_cast<std::size_t>(t)];
+    }
+    acc += y >> 12;
+  }
+  return acc.value();
+}
+
+/// Scalar one-pole filter chain (the vocoder post-processing deemphasis
+/// shape): every operation in the loop body is annotated, so per-op charging
+/// is essentially the whole cost — the regime the replay cache exists for
+/// and the kernel the 2x gate measures. The mask keeps y bounded (no signed
+/// overflow) and charges like any other op.
+long filter_kernel() {
+  scperf::gint y(scperf::detail::RawTag{}, 1);
+  scperf::gint acc(scperf::detail::RawTag{}, 0);
+  for (int n = 0; n < 1200; ++n) {
+    y = ((y * 29 + 13) >> 3) & 0xFFFF;
+    acc += y;
+  }
+  return acc.value();
+}
+
+struct KernelFixture {
+  scperf::CostTable table = scperf::orsim_sw_cost_table();
+  scperf::SwResource cpu{"cpu", 50.0, scperf::orsim_sw_cost_table()};
+  scperf::SegmentAccum accum;
+  // Parenthesised sizes: braces would pick garray's initializer_list
+  // constructor and build one-element arrays. 64 samples + 16 taps of
+  // lookahead, so the inner loop indexes x[n + t] without a modulo.
+  scperf::garray<int> x = scperf::garray<int>(80);
+  scperf::garray<int> h = scperf::garray<int>(16);
+
+  KernelFixture() {
+    accum.table = &table;
+    for (std::size_t i = 0; i < 80; ++i) {
+      x.at_raw(i).set_raw(static_cast<int>(i * 13 % 97));
+    }
+    for (std::size_t i = 0; i < 16; ++i) {
+      h.at_raw(i).set_raw(static_cast<int>(i + 1));
+    }
+  }
+};
+
+double median_segment_ns(KernelFixture& fx, scperf::SegmentCache* cache,
+                         int segments_per_rep = 400, int reps = 9) {
+  std::vector<double> ns;
+  long sink = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int s = 0; s < segments_per_rep; ++s) {
+      if (cache) cache->arm(fx.accum, "wait", fx.cpu);
+      sink += filter_kernel();
+      if (cache) cache->resolve(fx.accum, "wait", "wait");
+      fx.accum.reset();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    ns.push_back(std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                 segments_per_rep);
+  }
+  benchmark::DoNotOptimize(sink);
+  std::sort(ns.begin(), ns.end());
+  return ns[ns.size() / 2];
+}
+
+int run_speedup_gate() {
+  std::printf(
+      "-- speedup: replay cache vs active charging (filter kernel) --\n");
+  KernelFixture fx;
+  scperf::tl_accum = nullptr;
+  const double inactive = median_segment_ns(fx, nullptr);
+  scperf::tl_accum = &fx.accum;
+  const double charged = median_segment_ns(fx, nullptr);
+  scperf::SegmentCache cache(scperf::SegmentCacheConfig{});
+  const double replayed = median_segment_ns(fx, &cache);
+  scperf::tl_accum = nullptr;
+  const double speedup = charged / replayed;
+  std::printf("  inactive (estimation off): %.0f ns/segment\n", inactive);
+  std::printf("  active charging:           %.0f ns/segment\n", charged);
+  std::printf("  replay cache:              %.0f ns/segment (hits %llu)\n",
+              replayed, static_cast<unsigned long long>(cache.stats().hits));
+  std::printf("  end-to-end speedup:        %.2fx (gate: >= 2x)\n", speedup);
+  std::printf("  charging-overhead speedup: %.2fx\n",
+              (charged - inactive) / (replayed - inactive));
+  check(cache.stats().hits > 0, "speedup run actually hit the cache");
+  check(speedup >= 2.0, "active-charging speedup >= 2x");
+  return g_failures == 0 ? 0 : 1;
+}
+
+int run_verify() {
+  gate_table1();
+  gate_hw_segments();
+  gate_vocoder();
+  gate_campaign();
+  gate_validate_mode();
+  std::printf("%s (%d failure%s)\n",
+              g_failures == 0 ? "EQUIVALENCE OK" : "EQUIVALENCE BROKEN",
+              g_failures, g_failures == 1 ? "" : "s");
+  return g_failures == 0 ? 0 : 1;
+}
+
+// ---- google-benchmark mode ----------------------------------------------
+
+void BM_FirActiveCharging(benchmark::State& state) {
+  KernelFixture fx;
+  scperf::tl_accum = &fx.accum;
+  for (auto _ : state) {
+    long v = fir_kernel(fx.x, fx.h);
+    fx.accum.reset();
+    benchmark::DoNotOptimize(v);
+  }
+  scperf::tl_accum = nullptr;
+}
+BENCHMARK(BM_FirActiveCharging);
+
+void BM_FirReplayCached(benchmark::State& state) {
+  KernelFixture fx;
+  scperf::SegmentCache cache(scperf::SegmentCacheConfig{});
+  scperf::tl_accum = &fx.accum;
+  for (auto _ : state) {
+    cache.arm(fx.accum, "wait", fx.cpu);
+    long v = fir_kernel(fx.x, fx.h);
+    cache.resolve(fx.accum, "wait", "wait");
+    fx.accum.reset();
+    benchmark::DoNotOptimize(v);
+  }
+  scperf::tl_accum = nullptr;
+}
+BENCHMARK(BM_FirReplayCached);
+
+void BM_FilterActiveCharging(benchmark::State& state) {
+  KernelFixture fx;
+  scperf::tl_accum = &fx.accum;
+  for (auto _ : state) {
+    long v = filter_kernel();
+    fx.accum.reset();
+    benchmark::DoNotOptimize(v);
+  }
+  scperf::tl_accum = nullptr;
+}
+BENCHMARK(BM_FilterActiveCharging);
+
+void BM_FilterReplayCached(benchmark::State& state) {
+  KernelFixture fx;
+  scperf::SegmentCache cache(scperf::SegmentCacheConfig{});
+  scperf::tl_accum = &fx.accum;
+  for (auto _ : state) {
+    cache.arm(fx.accum, "wait", fx.cpu);
+    long v = filter_kernel();
+    cache.resolve(fx.accum, "wait", "wait");
+    fx.accum.reset();
+    benchmark::DoNotOptimize(v);
+  }
+  scperf::tl_accum = nullptr;
+}
+BENCHMARK(BM_FilterReplayCached);
+
+void BM_FirValidateMode(benchmark::State& state) {
+  KernelFixture fx;
+  scperf::SegmentCacheConfig cfg;
+  cfg.validate = true;
+  scperf::SegmentCache cache(cfg);
+  scperf::tl_accum = &fx.accum;
+  for (auto _ : state) {
+    cache.arm(fx.accum, "wait", fx.cpu);
+    long v = fir_kernel(fx.x, fx.h);
+    cache.resolve(fx.accum, "wait", "wait");
+    fx.accum.reset();
+    benchmark::DoNotOptimize(v);
+  }
+  scperf::tl_accum = nullptr;
+}
+BENCHMARK(BM_FirValidateMode);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) return run_verify();
+    if (std::strcmp(argv[i], "--speedup") == 0) return run_speedup_gate();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

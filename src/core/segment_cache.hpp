@@ -1,0 +1,131 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "core/op.hpp"
+
+namespace scperf {
+
+struct SegmentAccum;
+class Resource;
+
+/// Configuration of the segment replay cache (see SegmentCache below).
+/// Defaults come from the environment at Estimator construction:
+/// SCPERF_SEGMENT_CACHE=0 disables it, SCPERF_CACHE_VALIDATE=1 switches to
+/// validate mode (charge both ways and cross-check every replayable segment).
+struct SegmentCacheConfig {
+  bool enabled = true;
+  bool validate = false;
+  /// Distinct (exit-node, signature) entries recorded per entry node before
+  /// the node is declared uncacheable (data-dependent op streams that never
+  /// repeat would otherwise grow the cache without ever hitting).
+  std::size_t max_entries_per_node = 64;
+  /// Longest op trace kept per segment execution, in ops. A segment that
+  /// exceeds it is folded back into ordinary charging mid-flight and its
+  /// entry node declared uncacheable.
+  std::size_t trace_limit = std::size_t{1} << 22;
+
+  static SegmentCacheConfig from_env();
+};
+
+/// Replay-cache counters, per process (SegmentCache::stats) or aggregated
+/// per resource / platform (Estimator::segment_cache_stats).
+struct SegmentCacheStats {
+  std::uint64_t hits = 0;        ///< segments applied as an O(1) delta
+  std::uint64_t misses = 0;      ///< traced segments whose signature was new
+  std::uint64_t bypassed = 0;    ///< segments charged conventionally
+  std::uint64_t validated = 0;   ///< validate-mode cross-checks that passed
+  std::uint64_t replayed_ops = 0;  ///< per-op charges skipped by hits
+  double cycles_saved = 0.0;       ///< estimated cycles applied via replay
+  std::uint64_t entries = 0;       ///< live (segment, signature) entries
+
+  SegmentCacheStats& operator+=(const SegmentCacheStats& o);
+  /// True when the cache ever skipped per-op charging (the property the
+  /// fault-injection tests assert is FALSE on memo-unsafe resources).
+  bool engaged() const { return hits + misses > 0; }
+};
+
+/// Segment replay cache: memoizes the aggregate cost delta of a segment
+/// execution — sum_cycles, max_ready, op_count, op-histogram delta — keyed
+/// by segment identity ("from->to" node pair, the same ids segment_parser
+/// derives statically) plus a control-path signature hashed over the op
+/// trace, so data-dependent branches that change the op stream map to
+/// distinct entries.
+///
+/// Protocol (driven by the Estimator at segment boundaries):
+///  - arm() at segment start decides the accumulator's mode. The first
+///    execution from an entry node charges conventionally (cold). Later
+///    executions run in replay mode: each charge appends one op byte to the
+///    accumulator's trace and skips the per-op accounting entirely.
+///  - resolve() at segment close hashes the trace. A hit applies the
+///    recorded delta in O(1); a miss recomputes the aggregate from the trace
+///    in the exact charge order (so the sum is the bit-identical double the
+///    conventional path would have produced) and records a new entry.
+///
+/// Soundness: replay is *byte-identical* to conventional charging because
+/// SegmentAccum::reset() zeroes all per-segment accumulation at every
+/// segment boundary, per-op costs depend only on the op (CostTable is
+/// immutable during a run), and FP addition order is preserved on misses
+/// while hits reuse the previously summed double unchanged. The cache
+/// self-disables where that argument fails:
+///  - ready tracking / DFG recording (HW resources): the per-op critical-path
+///    recurrence reads every operand's ready time — an aggregate cannot
+///    replay it;
+///  - memo-unsafe resources (pulse / downtime / crash fault injection):
+///    per-op fault cycles and mid-segment kills are execution-time-dependent;
+///  - validate mode: charges both ways and cross-checks instead of skipping.
+class SegmentCache {
+ public:
+  explicit SegmentCache(const SegmentCacheConfig& cfg) : cfg_(cfg) {}
+
+  /// Decides the accumulator's mode for the segment starting at `from`.
+  void arm(SegmentAccum& a, const std::string& from, const Resource& r);
+
+  /// Closes the segment "from->to": applies / records / accounts. Must be
+  /// called before the accumulator's totals are read, and before reset().
+  void resolve(SegmentAccum& a, const std::string& from,
+               const std::string& to);
+
+  SegmentCacheStats stats() const;
+
+  /// Control-path signature over an op trace (exposed for tests).
+  static std::uint64_t signature(const unsigned char* p, std::size_t n);
+
+  /// Test hook: perturbs every recorded sum so a validate-mode run trips
+  /// the cross-check. Never call outside tests.
+  void debug_perturb_entries(double extra_cycles);
+
+ private:
+  /// The memoized aggregate of one (segment, signature): exactly what a
+  /// conventional charge of the same op stream adds to the accumulator.
+  struct Delta {
+    double sum_cycles = 0.0;
+    double max_ready = 0.0;
+    std::uint64_t op_count = 0;
+    std::array<std::uint64_t, kNumOps> op_histogram{};
+  };
+
+  struct NodeState {
+    bool seen = false;         ///< closed at least once: next start arms
+    bool uncacheable = false;  ///< saturated or overflowed: never arm again
+    std::size_t entries = 0;   ///< recorded deltas across this node's exits
+  };
+
+  /// Recomputes the delta from the accumulator's trace in charge order.
+  Delta derive(const SegmentAccum& a) const;
+  void record(NodeState& ns, std::unordered_map<std::uint64_t, Delta>& by_sig,
+              std::uint64_t sig, const Delta& d);
+
+  SegmentCacheConfig cfg_;
+  SegmentCacheStats stats_;
+  std::unordered_map<std::string, NodeState> nodes_;  ///< by entry node
+  /// "from->to" -> signature -> delta.
+  std::unordered_map<std::string, std::unordered_map<std::uint64_t, Delta>>
+      entries_;
+};
+
+}  // namespace scperf

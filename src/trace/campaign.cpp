@@ -68,6 +68,10 @@ CampaignReport FaultCampaign::report() const {
                       r.recovery_latencies_ns.end());
     rep.mean_energy_pj += r.energy_pj;
     rep.mean_fault_energy_pj += r.fault_energy_pj;
+    rep.cache_hits += r.cache_hits;
+    rep.cache_misses += r.cache_misses;
+    rep.cache_bypassed += r.cache_bypassed;
+    rep.cache_cycles_saved += r.cache_cycles_saved;
     const double w = std::exp(r.log_weight);
     if (r.log_weight != 0.0) any_weighted = true;
     const double m =
@@ -114,7 +118,7 @@ CampaignReport FaultCampaign::report() const {
   return rep;
 }
 
-void CampaignReport::print(std::ostream& os) const {
+void CampaignReport::print(std::ostream& os, bool with_cache_stats) const {
   os << "fault campaign: " << runs << " runs (" << failed_runs
      << " failed)\n";
   os << "  deadlines: " << deadline_missed << "/" << deadline_total
@@ -141,12 +145,21 @@ void CampaignReport::print(std::ostream& os) const {
     os << "  energy:    mean " << mean_energy_pj << " pJ/run, of which "
        << mean_fault_energy_pj << " pJ fault overhead\n";
   }
+  if (with_cache_stats) {
+    os << "  seg-cache: " << cache_hits << " hits, " << cache_misses
+       << " misses, " << cache_bypassed << " bypassed, " << cache_cycles_saved
+       << " cycles saved\n";
+  }
 }
 
-void FaultCampaign::write_csv(std::ostream& os) const {
+void FaultCampaign::write_csv(std::ostream& os, bool with_cache_stats) const {
   os << "seed,completed,makespan_ns,deadline_total,deadline_missed,"
         "faults_injected,recovery_samples,mean_recovery_ns,log_weight,"
-        "weight,energy_pj,fault_energy_pj,value_hash\n";
+        "weight,energy_pj,fault_energy_pj,value_hash";
+  if (with_cache_stats) {
+    os << ",cache_hits,cache_misses,cache_bypassed,cache_cycles_saved";
+  }
+  os << '\n';
   for (const CampaignRunResult& r : results_) {
     const Summary rec = summarize(r.recovery_latencies_ns);
     os << r.seed << ',' << (r.completed ? 1 : 0) << ','
@@ -154,7 +167,12 @@ void FaultCampaign::write_csv(std::ostream& os) const {
        << r.deadline_missed << ',' << r.faults_injected << ','
        << rec.count << ',' << rec.mean << ',' << r.log_weight << ','
        << std::exp(r.log_weight) << ',' << r.energy_pj << ','
-       << r.fault_energy_pj << ',' << r.value_hash << '\n';
+       << r.fault_energy_pj << ',' << r.value_hash;
+    if (with_cache_stats) {
+      os << ',' << r.cache_hits << ',' << r.cache_misses << ','
+         << r.cache_bypassed << ',' << r.cache_cycles_saved;
+    }
+    os << '\n';
   }
 }
 
@@ -210,17 +228,25 @@ void CampaignSweep::print(std::ostream& os) const {
   os << std::defaultfloat << std::setprecision(static_cast<int>(old_prec));
 }
 
-void CampaignSweep::write_csv(std::ostream& os) const {
+void CampaignSweep::write_csv(std::ostream& os, bool with_cache_stats) const {
   os << "mapping,scenario,runs,failed_runs,deadline_total,deadline_missed,"
         "miss_rate,miss_rate_ci95,mean_makespan_ns,mean_energy_pj,"
-        "mean_fault_energy_pj\n";
+        "mean_fault_energy_pj";
+  if (with_cache_stats) {
+    os << ",cache_hits,cache_misses,cache_bypassed,cache_cycles_saved";
+  }
+  os << '\n';
   for (const Cell& c : cells_) {
     os << c.mapping << ',' << c.scenario << ',' << c.report.runs << ','
        << c.report.failed_runs << ',' << c.report.deadline_total << ','
        << c.report.deadline_missed << ',' << c.report.miss_rate << ','
        << c.report.miss_rate_ci95 << ',' << c.report.makespan_ns.mean << ','
-       << c.report.mean_energy_pj << ',' << c.report.mean_fault_energy_pj
-       << '\n';
+       << c.report.mean_energy_pj << ',' << c.report.mean_fault_energy_pj;
+    if (with_cache_stats) {
+      os << ',' << c.report.cache_hits << ',' << c.report.cache_misses << ','
+         << c.report.cache_bypassed << ',' << c.report.cache_cycles_saved;
+    }
+    os << '\n';
   }
 }
 

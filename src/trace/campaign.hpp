@@ -53,6 +53,17 @@ struct CampaignRunResult {
   /// CaptureRegistry::value_sequence_hash of the run — equal seeds must
   /// yield equal hashes (determinism check across repeated campaigns).
   std::uint64_t value_hash = 0;
+
+  /// Segment-replay-cache counters of the run (fill from
+  /// Estimator::segment_cache_stats). Observability only: excluded from the
+  /// default CSV/report so cache-on and cache-off campaign outputs stay
+  /// byte-identical; opt in via the with_cache_stats parameters. Sweeps use
+  /// cache_hits + cache_misses == 0 to confirm the cache never engaged on
+  /// fault-injected resources.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_bypassed = 0;
+  double cache_cycles_saved = 0.0;
 };
 
 /// Aggregate view of a campaign. All ci95 fields are half-widths of normal-
@@ -96,7 +107,16 @@ struct CampaignReport {
   /// explores a different region than the nominal one.
   double mean_weight = 0.0;
 
-  void print(std::ostream& os) const;
+  /// Segment-replay-cache totals over completed runs (observability; only
+  /// printed when print() is asked for them).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_bypassed = 0;
+  double cache_cycles_saved = 0.0;
+
+  /// with_cache_stats appends the replay-cache totals; the default output is
+  /// byte-identical to pre-cache builds.
+  void print(std::ostream& os, bool with_cache_stats = false) const;
 };
 
 /// Half-width of the normal-approximation 95% CI of a sample mean.
@@ -149,8 +169,10 @@ class FaultCampaign {
   CampaignReport report() const;
 
   /// One row per run: seed, completed, makespan, deadlines, faults, weight,
-  /// energy, hash.
-  void write_csv(std::ostream& os) const;
+  /// energy, hash. with_cache_stats appends the per-run replay-cache
+  /// columns (hits, misses, bypassed, cycles saved); the default columns are
+  /// byte-identical to pre-cache builds.
+  void write_csv(std::ostream& os, bool with_cache_stats = false) const;
 
  private:
   RunFn fn_;
@@ -195,7 +217,9 @@ class CampaignSweep {
   /// Miss-rate grid: one row per mapping, one column per scenario.
   void print(std::ostream& os) const;
   /// One row per cell: mapping, scenario, and the headline report fields.
-  void write_csv(std::ostream& os) const;
+  /// with_cache_stats appends the cell's replay-cache totals so a sweep can
+  /// confirm the cache never engaged under fault scenarios.
+  void write_csv(std::ostream& os, bool with_cache_stats = false) const;
 
  private:
   std::vector<std::string> mappings_;
