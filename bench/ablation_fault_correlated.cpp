@@ -23,12 +23,16 @@
 // exploration: which mapping stays schedulable under which fault regime.
 //
 // Usage: ablation_fault_correlated [scale_pct] [--threads N]
+//                                  [--journal] [--resume]
 //   scale_pct (default 100) scales every campaign's run count; the CI smoke
 //   run uses a small value and then only the determinism gate is asserted.
 //   --threads N runs every campaign on an N-worker pool and adds a speedup
 //   section: the burst campaign is timed sequentially and threaded, the two
 //   CSVs must be byte-identical (the determinism gate of the parallel
 //   executor), and the wall-clock ratio is reported.
+//   --journal records the mapping x scenario sweep in per-cell journals
+//   next to the binary (fault_correlated_sweep.journal.<cell>); --resume
+//   replays completed cells/runs from them after an interruption.
 
 #include <chrono>
 #include <cstdio>
@@ -245,6 +249,7 @@ RunOptions scenario_options(const std::string& name, bool split_cpu) {
 
 /// Campaign execution options for the whole bench, set by --threads.
 sctrace::CampaignOptions g_campaign_opts;
+bool g_journal = false;
 
 /// CSV artifacts land next to the binary (build/bench/), not in the
 /// caller's cwd, so runs never litter the source tree.
@@ -300,6 +305,11 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       g_campaign_opts.threads =
           static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      g_journal = true;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      g_journal = true;  // --resume implies journalling
+      g_campaign_opts.resume = true;
     } else {
       pct = std::atoi(argv[i]);
     }
@@ -421,7 +431,14 @@ int main(int argc, char** argv) {
             scenario_options(scenario, mapping == "split_cpu");
         return [opt](std::uint64_t s) { return run_stream(s, opt); };
       });
-  sweep.run(kSeed, n_sweep, g_campaign_opts);
+  sctrace::CampaignOptions sweep_opts = g_campaign_opts;
+  if (g_journal) {
+    // One journal per grid cell, derived from this prefix; the tag inside
+    // each file carries the mapping/scenario pair it belongs to.
+    sweep_opts.journal_path = out_path("fault_correlated_sweep.journal");
+    sweep_opts.journal_tag = "correlated-sweep";
+  }
+  sweep.run(kSeed, n_sweep, sweep_opts);
   std::ostringstream grid;
   sweep.print(grid);
   std::fputs(grid.str().c_str(), stdout);

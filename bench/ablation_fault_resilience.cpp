@@ -17,10 +17,18 @@
 // the determinism contract that makes campaign results reproducible.
 
 //
-// Usage: ablation_fault_resilience [--threads N]
+// Usage: ablation_fault_resilience [--threads N] [--runs N]
+//                                  [--journal] [--resume]
 //   --threads N runs each campaign on an N-worker pool; output is
 //   byte-identical to the sequential run (verified for the resilient
 //   campaign) and the wall-clock speedup is reported.
+//   --runs N    overrides the number of seeds per campaign (default 24).
+//   --journal   records every finished run in a crash-consistent journal
+//               next to the binary (fault_resilience_<label>.journal).
+//   --resume    replays completed runs from an existing journal and only
+//               executes the missing seeds — kill this binary at any point
+//               and rerun with --journal --resume to finish the campaign;
+//               the final CSVs are byte-identical to an uninterrupted run.
 
 #include <chrono>
 #include <cstdio>
@@ -36,6 +44,7 @@
 #include "fault/channels.hpp"
 #include "fault/injector.hpp"
 #include "trace/campaign.hpp"
+#include "trace/journal.hpp"
 
 namespace {
 
@@ -218,6 +227,7 @@ CampaignRunResult run_pipeline(std::uint64_t seed, bool resilient) {
 }
 
 sctrace::CampaignOptions g_campaign_opts;
+bool g_journal = false;
 
 /// CSV artifacts land next to the binary (build/bench/), not in the
 /// caller's cwd, so runs never litter the source tree.
@@ -225,9 +235,26 @@ std::string g_out_dir;
 
 void run_campaign(const char* label, bool resilient, std::uint64_t base_seed,
                   std::size_t n) {
+  sctrace::CampaignOptions opts = g_campaign_opts;
+  if (g_journal) {
+    // Journals live next to the binary like the CSVs; the scenario digest
+    // pins the fault model so a resume against an edited model is refused.
+    opts.journal_path = g_out_dir + "fault_resilience_" + label + ".journal";
+    opts.journal_tag = label;
+    opts.scenario_digest = scfault::config_digest(fault_model());
+    if (opts.resume) {
+      std::ifstream probe(opts.journal_path, std::ios::binary);
+      if (probe.peek() != std::ifstream::traits_type::eof()) {
+        const sctrace::JournalContents prior =
+            sctrace::read_journal(opts.journal_path);
+        std::printf("  [%s] resuming: %zu of %zu runs replayed from %s\n",
+                    label, prior.records.size(), n, opts.journal_path.c_str());
+      }
+    }
+  }
   sctrace::FaultCampaign campaign(
       [resilient](std::uint64_t seed) { return run_pipeline(seed, resilient); });
-  campaign.run(base_seed, n, g_campaign_opts);
+  campaign.run(base_seed, n, opts);
 
   std::printf("== %s mapping ==\n", label);
   std::ostringstream report;
@@ -245,7 +272,7 @@ void run_campaign(const char* label, bool resilient, std::uint64_t base_seed,
 
 int main(int argc, char** argv) {
   constexpr std::uint64_t kBaseSeed = 1000;
-  constexpr std::size_t kRuns = 24;
+  std::size_t runs = 24;
 
   if (const char* slash = std::strrchr(argv[0], '/')) {
     g_out_dir.assign(argv[0], static_cast<std::size_t>(slash - argv[0]) + 1);
@@ -254,8 +281,16 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       g_campaign_opts.threads =
           static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      runs = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      g_journal = true;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      g_journal = true;  // --resume implies journalling
+      g_campaign_opts.resume = true;
     }
   }
+  const std::size_t kRuns = runs;
 
   std::printf(
       "Fault-resilience ablation: %d-frame pipeline, %zu seeded scenarios\n"

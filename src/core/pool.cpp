@@ -125,6 +125,15 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
   if (st->error) std::rethrow_exception(st->error);
 }
 
+void ThreadPool::parallel_for(const std::vector<std::size_t>& indices,
+                              std::size_t chunk,
+                              const std::function<void(std::size_t)>& body) {
+  // Positions are claimed exactly like the dense range; the extra
+  // indirection is all the sparseness costs.
+  parallel_for(indices.size(), chunk,
+               [&](std::size_t j) { body(indices[j]); });
+}
+
 std::size_t ThreadPool::default_threads() {
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : static_cast<std::size_t>(hc);

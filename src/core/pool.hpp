@@ -57,6 +57,16 @@ class ThreadPool {
   void parallel_for(std::size_t n, std::size_t chunk,
                     const std::function<void(std::size_t)>& body);
 
+  /// Sparse variant: runs body(indices[j]) for every position j, claiming
+  /// chunks of consecutive *positions* (the indices themselves may be any
+  /// subset, in any order). This is the resume path of a journaled campaign:
+  /// only the seeds the journal is missing re-run, with the same
+  /// determinism, exception and drain semantics as the dense overload — an
+  /// exception cancels unclaimed chunks, in-flight indices finish, and the
+  /// first error is rethrown after the drain.
+  void parallel_for(const std::vector<std::size_t>& indices, std::size_t chunk,
+                    const std::function<void(std::size_t)>& body);
+
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// allows it to report 0).
   static std::size_t default_threads();

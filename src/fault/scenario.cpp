@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 namespace scfault {
@@ -22,6 +23,77 @@ std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
+}
+
+namespace {
+
+// config_digest folds every field through mix_seed, one 64-bit word at a
+// time; doubles contribute their bit pattern, strings their fnv1a hash.
+void fold(std::uint64_t& h, std::uint64_t v) { h = mix_seed(h, v); }
+
+void fold_d(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  fold(h, bits);
+}
+
+void fold_s(std::uint64_t& h, const std::string& s) { fold(h, fnv1a(s)); }
+
+void fold_t(std::uint64_t& h, minisc::Time t) { fold(h, t.to_ps()); }
+
+}  // namespace
+
+std::uint64_t config_digest(const ScenarioConfig& config) {
+  std::uint64_t h = fnv1a("scfault::ScenarioConfig/v1");
+  fold_t(h, config.horizon);
+  fold(h, config.pulses.size());
+  for (const PulseSpec& p : config.pulses) {
+    fold_s(h, p.resource);
+    fold(h, p.count);
+    fold_d(h, p.min_extra_cycles);
+    fold_d(h, p.max_extra_cycles);
+  }
+  fold(h, config.outages.size());
+  for (const OutageSpec& o : config.outages) {
+    fold_s(h, o.resource);
+    fold(h, o.count);
+    fold_t(h, o.min_length);
+    fold_t(h, o.max_length);
+  }
+  fold(h, config.storms.size());
+  for (const StormSpec& s : config.storms) {
+    fold_s(h, s.resource);
+    fold(h, s.count);
+    fold_d(h, s.continue_p);
+    fold(h, s.max_cluster);
+    fold_t(h, s.window);
+    fold_t(h, s.min_length);
+    fold_t(h, s.max_length);
+  }
+  fold(h, config.channel_faults.size());
+  for (const ChannelFaultSpec& c : config.channel_faults) {
+    fold_s(h, c.channel);
+    fold_d(h, c.drop_p);
+    fold_d(h, c.dup_p);
+    fold_d(h, c.delay_p);
+    fold_t(h, c.min_delay);
+    fold_t(h, c.max_delay);
+    fold(h, c.burst.has_value() ? 1 : 0);
+    if (c.burst.has_value()) {
+      fold_d(h, c.burst->p_enter);
+      fold_d(h, c.burst->p_exit);
+      fold_d(h, c.burst->bad_drop_p);
+      fold_d(h, c.burst->bad_dup_p);
+      fold_d(h, c.burst->bad_delay_p);
+    }
+  }
+  fold(h, config.crashes.size());
+  for (const CrashSpec& c : config.crashes) {
+    fold_s(h, c.process);
+    fold_t(h, c.at);
+    fold_t(h, c.restart_after);
+  }
+  return h;
 }
 
 FaultScenario::FaultScenario(ScenarioConfig config, std::uint64_t seed)

@@ -20,8 +20,14 @@ const char* to_string(SimError::Kind k) {
       return "no_process_context";
     case SimError::Kind::kBadConfig:
       return "bad_config";
+    case SimError::Kind::kJournalCorrupt:
+      return "journal_corrupt";
   }
   return "?";
+}
+
+bool is_transient(SimError::Kind k) {
+  return k == SimError::Kind::kWallClockBudget;
 }
 
 std::string ProcessDiagnostic::str() const {
@@ -45,7 +51,7 @@ std::string SimError::format(Kind kind, const std::string& summary,
   std::ostringstream os;
   os << "minisc::SimError(" << to_string(kind) << "): " << summary;
   if (kind != Kind::kNoSimulator && kind != Kind::kNoProcessContext &&
-      kind != Kind::kBadConfig) {
+      kind != Kind::kBadConfig && kind != Kind::kJournalCorrupt) {
     os << " at t=" << sim_time.str() << " delta=" << delta;
   }
   for (const ProcessDiagnostic& p : processes) {

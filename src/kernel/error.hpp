@@ -35,6 +35,7 @@ class SimError : public std::runtime_error {
     kNoSimulator,       ///< Simulator::current() with no live simulator
     kNoProcessContext,  ///< process-only operation called from outside
     kBadConfig,         ///< invalid construction parameter
+    kJournalCorrupt,    ///< campaign run journal failed a record checksum
   };
 
   SimError(Kind kind, std::string summary, Time sim_time = Time::zero(),
@@ -49,6 +50,11 @@ class SimError : public std::runtime_error {
     return processes_;
   }
 
+  /// True when the failure is host-dependent rather than a property of the
+  /// (deterministic) simulation: re-running the same seed may well succeed.
+  /// See is_transient() for the classification rationale.
+  bool transient() const;
+
  private:
   static std::string format(Kind kind, const std::string& summary,
                             Time sim_time, std::uint64_t delta,
@@ -61,5 +67,17 @@ class SimError : public std::runtime_error {
 };
 
 const char* to_string(SimError::Kind k);
+
+/// Transient / permanent classification driving campaign retry policy.
+/// The simulation itself is deterministic, so almost every SimError is
+/// permanent: the same seed will storm, overrun its simulated-time budget or
+/// reject its config again on every retry. The exception is the wall-clock
+/// budget, which measures *host* time — a loaded machine, a paused VM or a
+/// cold cache can trip it on one attempt and not the next. Only
+/// kWallClockBudget is therefore transient (retry-worthy); everything else
+/// fails fast.
+bool is_transient(SimError::Kind k);
+
+inline bool SimError::transient() const { return is_transient(kind_); }
 
 }  // namespace minisc

@@ -479,18 +479,61 @@ bool Simulator::wait_for_restart(Process& p, Time delay) {
   return !p.kill_requested_;
 }
 
+namespace {
+// Innermost active per-run deadline on this thread (RunBudgetScope).
+thread_local std::chrono::steady_clock::time_point tl_run_deadline =
+    std::chrono::steady_clock::time_point::max();
+thread_local std::uint64_t tl_run_budget_ms = 0;
+}  // namespace
+
+RunBudgetScope::RunBudgetScope(std::uint64_t budget_ms)
+    : saved_deadline_(tl_run_deadline), saved_budget_ms_(tl_run_budget_ms) {
+  if (budget_ms == 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+  // Nested scopes: the tighter deadline stays in force.
+  if (deadline < tl_run_deadline) {
+    tl_run_deadline = deadline;
+    tl_run_budget_ms = budget_ms;
+  }
+}
+
+RunBudgetScope::~RunBudgetScope() {
+  tl_run_deadline = saved_deadline_;
+  tl_run_budget_ms = saved_budget_ms_;
+}
+
+bool RunBudgetScope::active() {
+  return tl_run_deadline != std::chrono::steady_clock::time_point::max();
+}
+
+bool RunBudgetScope::expired() {
+  return active() && std::chrono::steady_clock::now() > tl_run_deadline;
+}
+
+std::uint64_t RunBudgetScope::budget_ms() { return tl_run_budget_ms; }
+
 void Simulator::check_wall_clock() {
-  if (watchdog_.wall_clock_ms == 0) return;
+  const bool have_watchdog = watchdog_.wall_clock_ms != 0;
+  if (!have_watchdog && !RunBudgetScope::active()) return;
   if (--wall_clock_countdown_ != 0) return;
   wall_clock_countdown_ = kWallClockCheckStride;
-  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-                           std::chrono::steady_clock::now() - run_started_)
-                           .count();
-  if (static_cast<std::uint64_t>(elapsed) > watchdog_.wall_clock_ms) {
+  if (have_watchdog) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - run_started_)
+                             .count();
+    if (static_cast<std::uint64_t>(elapsed) > watchdog_.wall_clock_ms) {
+      throw_watchdog(SimError::Kind::kWallClockBudget,
+                     "run() exceeded its wall-clock budget of " +
+                         std::to_string(watchdog_.wall_clock_ms) +
+                         " ms: the specification appears to hang");
+    }
+  }
+  if (RunBudgetScope::expired()) {
     throw_watchdog(SimError::Kind::kWallClockBudget,
-                   "run() exceeded its wall-clock budget of " +
-                       std::to_string(watchdog_.wall_clock_ms) +
-                       " ms: the specification appears to hang");
+                   "campaign per-run wall-clock budget of " +
+                       std::to_string(RunBudgetScope::budget_ms()) +
+                       " ms exceeded: this seed appears to hang");
   }
 }
 

@@ -161,6 +161,36 @@ struct Watchdog {
   Time sim_time_budget = Time::max();
 };
 
+/// Ambient per-run wall-clock budget, installed around one campaign run.
+/// A campaign driver cannot reach inside its run function to configure the
+/// Watchdog of a Simulator the function builds for itself — so instead every
+/// Simulator on this thread consults the innermost active RunBudgetScope
+/// from the same amortised wall-clock check the Watchdog uses (the scheduler
+/// loop between dispatches plus the in-segment probe). Exceeding the budget
+/// throws the usual kWallClockBudget SimError, converting a hung seed into a
+/// failed-with-timeout record instead of a stalled campaign. Scopes are
+/// thread_local and nest with the tighter deadline winning; budget_ms == 0
+/// makes the scope a no-op, and an inactive scope costs the check one
+/// thread_local read.
+class RunBudgetScope {
+ public:
+  explicit RunBudgetScope(std::uint64_t budget_ms);
+  ~RunBudgetScope();
+  RunBudgetScope(const RunBudgetScope&) = delete;
+  RunBudgetScope& operator=(const RunBudgetScope&) = delete;
+
+  /// True when any scope on this thread holds a deadline.
+  static bool active();
+  /// True when the innermost active deadline has passed.
+  static bool expired();
+  /// The budget (ms) behind the innermost active deadline — diagnostics.
+  static std::uint64_t budget_ms();
+
+ private:
+  std::chrono::steady_clock::time_point saved_deadline_;
+  std::uint64_t saved_budget_ms_ = 0;
+};
+
 /// The discrete-event scheduler (the role of the SystemC kernel).
 ///
 /// Executes the classic evaluate / update / delta-notify cycle, then advances

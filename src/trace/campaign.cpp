@@ -1,12 +1,18 @@
 #include "trace/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <fstream>
 #include <iomanip>
+#include <memory>
 #include <ostream>
+#include <thread>
 
 #include "core/pool.hpp"
 #include "kernel/error.hpp"
+#include "kernel/retry.hpp"
+#include "trace/journal.hpp"
 
 namespace sctrace {
 
@@ -15,29 +21,161 @@ double mean_ci95(const Summary& s) {
   return 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
 }
 
+namespace {
+
+/// Host backoff before retry `attempt` of `seed`: exponential in the attempt
+/// number, capped, and scaled by a deterministic jitter factor in
+/// [0.75, 1.25) derived from (seed, attempt) via splitmix64 — the same
+/// no-ambient-randomness discipline as minisc::retry_with_backoff, so a
+/// retried campaign sleeps the same schedule on every replay.
+std::uint64_t retry_backoff_ms(std::uint64_t seed, std::uint32_t attempt,
+                               const CampaignOptions& opts) {
+  if (opts.retry_backoff_ms == 0) return 0;
+  double base = static_cast<double>(opts.retry_backoff_ms) *
+                std::pow(2.0, static_cast<double>(attempt - 1));
+  base = std::min(base, static_cast<double>(opts.retry_backoff_max_ms));
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ull * attempt);
+  const double u = minisc::detail::splitmix_uniform(state);
+  return static_cast<std::uint64_t>(base * (0.75 + 0.5 * u));
+}
+
+/// One seed through the run function, under the per-run wall-clock budget,
+/// with transient/permanent retry classification. Never throws SimError:
+/// the outcome (including a still-failing final attempt) becomes the record.
+CampaignRunResult run_with_retry(const FaultCampaign::RunFn& fn,
+                                 std::uint64_t seed,
+                                 const CampaignOptions& opts) {
+  const std::size_t max_attempts = std::max<std::size_t>(1, opts.max_attempts);
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      CampaignRunResult r;
+      {
+        // Any Simulator the run function builds on this thread enforces the
+        // budget through its amortised wall-clock check; a hung seed throws
+        // kWallClockBudget here instead of stalling the campaign.
+        minisc::RunBudgetScope budget(opts.run_wall_clock_ms);
+        r = fn(seed);
+      }
+      r.seed = seed;
+      r.attempts = attempt;
+      return r;
+    } catch (const minisc::SimError& e) {
+      if (e.transient() && attempt < max_attempts) {
+        const std::uint64_t ms = retry_backoff_ms(seed, attempt, opts);
+        if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        continue;
+      }
+      CampaignRunResult r;
+      r.seed = seed;
+      r.completed = false;
+      r.error = e.what();
+      r.attempts = attempt;
+      return r;
+    }
+  }
+}
+
+/// Opens the campaign's journal. Fresh start: truncate and write the header.
+/// Resume against an existing non-empty journal: verify the header matches
+/// this campaign, replay every intact record bit-exactly into its result
+/// slot, and come back positioned to append. `todo` receives the indices
+/// still to run (ascending, like the dense path claims them).
+std::unique_ptr<JournalWriter> open_journal(
+    std::uint64_t base_seed, std::size_t n, const CampaignOptions& opts,
+    std::vector<CampaignRunResult>& results, std::size_t offset,
+    std::vector<std::size_t>& todo) {
+  JournalHeader header;
+  header.base_seed = base_seed;
+  header.runs = n;
+  header.scenario_digest = opts.scenario_digest;
+  header.tag = opts.journal_tag;
+
+  if (opts.resume) {
+    std::ifstream probe(opts.journal_path, std::ios::binary);
+    // A missing or empty journal (a crash before the header landed) starts
+    // fresh; anything with bytes in it must parse and match.
+    const bool nonempty = probe && probe.peek() != std::ifstream::traits_type::eof();
+    probe.close();
+    if (nonempty) {
+      JournalContents contents = read_journal(opts.journal_path);
+      if (contents.header.base_seed != base_seed ||
+          contents.header.runs != n ||
+          contents.header.scenario_digest != opts.scenario_digest ||
+          contents.header.tag != opts.journal_tag) {
+        throw minisc::SimError(
+            minisc::SimError::Kind::kBadConfig,
+            "campaign journal '" + opts.journal_path +
+                "' was written by a different campaign (header: base_seed=" +
+                std::to_string(contents.header.base_seed) + " runs=" +
+                std::to_string(contents.header.runs) + " digest=" +
+                std::to_string(contents.header.scenario_digest) + " tag='" +
+                contents.header.tag + "'; resuming: base_seed=" +
+                std::to_string(base_seed) + " runs=" + std::to_string(n) +
+                " digest=" + std::to_string(opts.scenario_digest) + " tag='" +
+                opts.journal_tag + "') — refusing to mix their runs");
+      }
+      std::vector<bool> done(n, false);
+      for (JournalRecord& rec : contents.records) {
+        if (rec.index >= n) {
+          throw minisc::SimError(
+              minisc::SimError::Kind::kJournalCorrupt,
+              "campaign journal '" + opts.journal_path + "': record index " +
+                  std::to_string(rec.index) + " out of range (campaign has " +
+                  std::to_string(n) + " runs)");
+        }
+        results[offset + rec.index] = std::move(rec.result);
+        done[rec.index] = true;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!done[i]) todo.push_back(i);
+      }
+      return std::make_unique<JournalWriter>(
+          opts.journal_path, contents.valid_bytes, opts.journal_flush_every);
+    }
+  }
+  todo.resize(n);
+  for (std::size_t i = 0; i < n; ++i) todo[i] = i;
+  return std::make_unique<JournalWriter>(opts.journal_path, header,
+                                         opts.journal_flush_every);
+}
+
+}  // namespace
+
 void FaultCampaign::run(std::uint64_t base_seed, std::size_t n,
                         const CampaignOptions& opts) {
   // Pre-sized slot array: run i (seed base_seed + i) writes slot offset + i
   // and nothing else, so the assembled results — and therefore report() and
   // write_csv() — are identical whether the slots fill on one thread or
-  // eight, in any interleaving.
+  // eight, in any interleaving. Journal replay drops recorded results into
+  // the same slots, which is why a resumed campaign aggregates to the same
+  // bytes as an uninterrupted one.
   const std::size_t offset = results_.size();
   results_.resize(offset + n);
+
+  std::unique_ptr<JournalWriter> journal;
+  std::vector<std::size_t> todo;
+  if (!opts.journal_path.empty()) {
+    journal = open_journal(base_seed, n, opts, results_, offset, todo);
+  }
+
   auto run_one = [&](std::size_t i) {
     const std::uint64_t seed = base_seed + i;
-    CampaignRunResult r;
-    try {
-      r = fn_(seed);
-      r.seed = seed;
-    } catch (const minisc::SimError& e) {
-      r = CampaignRunResult{};
-      r.seed = seed;
-      r.completed = false;
-      r.error = e.what();
-    }
+    CampaignRunResult r = run_with_retry(fn_, seed, opts);
+    // Journal before publishing the slot: a record is durable (or at worst a
+    // tolerated torn tail) by the time anything can observe the result.
+    if (journal) journal->append(i, r);
     results_[offset + i] = std::move(r);
   };
-  if (opts.threads <= 1) {
+
+  if (journal) {
+    if (opts.threads <= 1) {
+      for (const std::size_t i : todo) run_one(i);
+    } else {
+      scperf::ThreadPool pool(opts.threads);
+      pool.parallel_for(todo, opts.chunk, run_one);
+    }
+    journal->sync();
+  } else if (opts.threads <= 1) {
     for (std::size_t i = 0; i < n; ++i) run_one(i);
   } else {
     scperf::ThreadPool pool(opts.threads);
@@ -57,6 +195,8 @@ CampaignReport FaultCampaign::report() const {
   double sum_w2 = 0.0;
   bool any_weighted = false;
   for (const CampaignRunResult& r : results_) {
+    rep.total_attempts += r.attempts;
+    if (r.attempts > 1) ++rep.retried_runs;
     if (!r.completed) {
       ++rep.failed_runs;
       continue;
@@ -121,6 +261,12 @@ CampaignReport FaultCampaign::report() const {
 void CampaignReport::print(std::ostream& os, bool with_cache_stats) const {
   os << "fault campaign: " << runs << " runs (" << failed_runs
      << " failed)\n";
+  if (retried_runs > 0) {
+    // Only printed when something retried, so retry-free campaigns keep
+    // emitting the historical bytes.
+    os << "  retries:   " << retried_runs << " runs took >1 attempt ("
+       << total_attempts << " attempts across " << runs << " runs)\n";
+  }
   os << "  deadlines: " << deadline_missed << "/" << deadline_total
      << " missed, miss rate " << miss_rate * 100.0 << "% +/- "
      << miss_rate_ci95 * 100.0 << "%\n";
@@ -130,6 +276,17 @@ void CampaignReport::print(std::ostream& os, bool with_cache_stats) const {
        << weighted_miss_rate_ci95 * 100.0 << "%  (ESS "
        << effective_sample_size << " of " << runs - failed_runs
        << ", mean weight " << mean_weight << ")\n";
+    const std::size_t completed = runs - failed_runs;
+    if (completed > 0 &&
+        effective_sample_size < 0.1 * static_cast<double>(completed)) {
+      // First concrete step toward the ROADMAP adaptive-IS item: flag a
+      // badly matched bias loudly instead of letting a tiny ESS hide inside
+      // an apparently tight (but meaningless) confidence interval.
+      os << "  WARNING: ESS " << effective_sample_size << " is below 10% of "
+         << completed << " completed runs — the importance bias explores a "
+            "different region than the nominal model; re-tune the bias (see "
+            "ROADMAP: adaptive importance sampling)\n";
+    }
   }
   if (makespan_ns.count > 0) {
     os << "  makespan:  mean " << makespan_ns.mean << " ns +/- "
@@ -155,7 +312,7 @@ void CampaignReport::print(std::ostream& os, bool with_cache_stats) const {
 void FaultCampaign::write_csv(std::ostream& os, bool with_cache_stats) const {
   os << "seed,completed,makespan_ns,deadline_total,deadline_missed,"
         "faults_injected,recovery_samples,mean_recovery_ns,log_weight,"
-        "weight,energy_pj,fault_energy_pj,value_hash";
+        "weight,energy_pj,fault_energy_pj,value_hash,attempts";
   if (with_cache_stats) {
     os << ",cache_hits,cache_misses,cache_bypassed,cache_cycles_saved";
   }
@@ -167,7 +324,7 @@ void FaultCampaign::write_csv(std::ostream& os, bool with_cache_stats) const {
        << r.deadline_missed << ',' << r.faults_injected << ','
        << rec.count << ',' << rec.mean << ',' << r.log_weight << ','
        << std::exp(r.log_weight) << ',' << r.energy_pj << ','
-       << r.fault_energy_pj << ',' << r.value_hash;
+       << r.fault_energy_pj << ',' << r.value_hash << ',' << r.attempts;
     if (with_cache_stats) {
       os << ',' << r.cache_hits << ',' << r.cache_misses << ','
          << r.cache_bypassed << ',' << r.cache_cycles_saved;
@@ -176,14 +333,44 @@ void FaultCampaign::write_csv(std::ostream& os, bool with_cache_stats) const {
   }
 }
 
+namespace {
+
+/// Journal filenames derive from cell names; anything outside [A-Za-z0-9._-]
+/// becomes '_' so a scenario called "lossy 5%" cannot escape the directory.
+std::string sanitize_for_path(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
 void CampaignSweep::run(std::uint64_t base_seed, std::size_t n,
                         const CampaignOptions& opts) {
   cells_.clear();
   cells_.reserve(mappings_.size() * scenarios_.size());
   for (const std::string& m : mappings_) {
     for (const std::string& s : scenarios_) {
+      // Each cell journals (and resumes) independently: the sweep's
+      // journal_path is a prefix, the cell identity goes into both the
+      // filename and the header tag. A kill mid-sweep therefore replays
+      // every finished cell from disk and re-runs only the missing seeds of
+      // the interrupted one.
+      CampaignOptions cell_opts = opts;
+      if (!opts.journal_path.empty()) {
+        cell_opts.journal_path = opts.journal_path + "." +
+                                 sanitize_for_path(m) + "." +
+                                 sanitize_for_path(s);
+        cell_opts.journal_tag = opts.journal_tag.empty()
+                                    ? m + "/" + s
+                                    : opts.journal_tag + ":" + m + "/" + s;
+      }
       FaultCampaign campaign(factory_(m, s));
-      campaign.run(base_seed, n, opts);
+      campaign.run(base_seed, n, cell_opts);
       cells_.push_back(Cell{m, s, campaign.report()});
     }
   }

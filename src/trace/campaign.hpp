@@ -21,6 +21,14 @@ struct CampaignRunResult {
   bool completed = true;
   std::string error;  ///< the SimError message when !completed
 
+  /// Attempts it took to produce this result (1 = first try). Transient
+  /// SimErrors (minisc::is_transient — host-dependent wall-clock trips) are
+  /// retried up to CampaignOptions::max_attempts with seed-derived
+  /// deterministic backoff; permanent errors (bad config, storms) fail fast
+  /// with attempts == 1. A run still failing after the retry budget keeps
+  /// completed == false and records the attempts it burned.
+  std::uint32_t attempts = 1;
+
   /// End-to-end makespan of the workload (whatever the experiment defines —
   /// typically first input to last output).
   minisc::Time makespan;
@@ -73,6 +81,10 @@ struct CampaignRunResult {
 struct CampaignReport {
   std::size_t runs = 0;
   std::size_t failed_runs = 0;
+  /// Runs that needed more than one attempt (transient-failure retries).
+  std::size_t retried_runs = 0;
+  /// Sum of attempts across all runs (== runs when nothing retried).
+  std::uint64_t total_attempts = 0;
 
   std::uint64_t deadline_total = 0;
   std::uint64_t deadline_missed = 0;
@@ -133,6 +145,48 @@ double mean_ci95(const Summary& s);
 struct CampaignOptions {
   std::size_t threads = 0;  ///< 0 or 1 = sequential on the calling thread
   std::size_t chunk = 1;    ///< consecutive seeds claimed by a worker at once
+
+  // ---- durability (crash-consistent run journal, see trace/journal.hpp) ----
+
+  /// Non-empty enables journaling: every completed seed is appended to this
+  /// file the moment it finishes, so a crashed campaign loses at most the
+  /// in-flight runs. CampaignSweep derives one journal per cell from this
+  /// path ("<path>.<mapping>.<scenario>").
+  std::string journal_path;
+  /// With resume set and an existing journal at journal_path, recorded runs
+  /// are replayed bit-exactly into their slots and only the missing seeds
+  /// re-run — report()/write_csv() are byte-identical to an uninterrupted
+  /// campaign for any thread count. The journal header must match this
+  /// campaign (base seed, run count, scenario_digest, tag) or run() throws
+  /// minisc::SimError(kBadConfig). A missing journal file starts fresh.
+  bool resume = false;
+  /// Fault-model fingerprint stored in the journal header and checked on
+  /// resume (scfault::config_digest; 0 = unchecked).
+  std::uint64_t scenario_digest = 0;
+  /// Free-form identity tag stored/checked alongside the digest.
+  std::string journal_tag;
+  /// fsync the journal every this many records (1 = every record; batching
+  /// amortises the sync cost, at risk of losing only the unsynced tail to a
+  /// host power cut — a killed *process* loses nothing).
+  std::size_t journal_flush_every = 8;
+
+  // ---- per-run retry and timeout budgets ----
+
+  /// Attempts per seed: transient SimErrors (minisc::is_transient) retry up
+  /// to this many times; 1 (the default) preserves the fail-on-first-error
+  /// behaviour. Permanent errors never retry.
+  std::size_t max_attempts = 1;
+  /// Base host backoff before retry k, growing as base * 2^(k-1) and capped
+  /// at retry_backoff_max_ms, scaled by a deterministic jitter factor in
+  /// [0.75, 1.25) derived from (seed, attempt) — never ambient randomness,
+  /// so retries cannot perturb reproducibility. 0 retries immediately.
+  std::uint64_t retry_backoff_ms = 0;
+  std::uint64_t retry_backoff_max_ms = 1000;
+  /// Per-run wall-clock budget, enforced via minisc::RunBudgetScope by any
+  /// Simulator the run function builds: a hung seed trips a kWallClockBudget
+  /// SimError (transient, hence retried) and becomes a failed-with-timeout
+  /// record instead of stalling the campaign. 0 = unlimited.
+  std::uint64_t run_wall_clock_ms = 0;
 };
 
 /// Resilience-campaign driver: runs one seeded experiment N times and
@@ -159,9 +213,18 @@ class FaultCampaign {
   /// seeds run on a thread pool; every seed's result lands in its own slot,
   /// so results()/report()/write_csv() are byte-identical to the sequential
   /// path regardless of thread count. A minisc::SimError thrown by any run
-  /// is recorded as a failed run in either mode; any other exception
-  /// propagates (parallel mode finishes in-flight runs first and leaves
-  /// unreached slots default-constructed).
+  /// is recorded as a failed run in either mode — after opts.max_attempts
+  /// tries with deterministic backoff when the error is transient
+  /// (minisc::is_transient) — and opts.run_wall_clock_ms converts a hung
+  /// seed into a failed-with-timeout record. Any other exception propagates
+  /// (parallel mode finishes in-flight runs first and leaves unreached slots
+  /// default-constructed).
+  ///
+  /// With opts.journal_path set, every finished seed is appended to a
+  /// crash-consistent journal (trace/journal.hpp); with opts.resume, runs
+  /// recorded by an interrupted campaign replay bit-exactly from the journal
+  /// and only the missing seeds execute — report() and write_csv() are
+  /// byte-identical to an uninterrupted campaign for any thread count.
   void run(std::uint64_t base_seed, std::size_t n,
            const CampaignOptions& opts = {});
 

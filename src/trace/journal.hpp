@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/campaign.hpp"
+
+namespace sctrace {
+
+/// Crash-consistent, append-only run journal for fault campaigns.
+///
+/// A campaign that runs thousands of seeds must survive the realities of
+/// long runs: a host crash, an OOM kill, a CI timeout. The journal makes
+/// each completed seed durable the moment it finishes, so an interrupted
+/// campaign resumes by replaying the recorded runs bit-exactly and
+/// re-running only the missing ones — report() and write_csv() come out
+/// byte-identical to an uninterrupted run.
+///
+/// File format (all integers little-endian, doubles stored by bit pattern —
+/// bit-exact round-trips are what make resumed reports byte-identical):
+///
+///   file   := header-record run-record*
+///   record := type:u8 ('H' | 'R')  len:u32  payload[len]  checksum:u64
+///
+/// The checksum is FNV-1a over the type byte, the 4 length bytes and the
+/// payload. Records are framed independently, so the crash-consistency
+/// contract is local: a *partial* record at end-of-file is the signature of
+/// an interrupted append and is silently dropped (the affected run simply
+/// re-runs on resume); a record that is fully present but fails its
+/// checksum is genuine corruption and raises a structured
+/// minisc::SimError(kJournalCorrupt) naming the record index.
+///
+/// The header pins the campaign identity: base seed, run count, and a
+/// caller-supplied scenario digest (scfault::config_digest) plus free-form
+/// tag. Resume refuses a journal whose header disagrees with the campaign
+/// being run — mixing runs of different fault models is how silent garbage
+/// gets into papers.
+struct JournalHeader {
+  std::uint32_t version = 1;
+  std::uint64_t base_seed = 0;
+  std::uint64_t runs = 0;
+  /// Fingerprint of the fault model behind the run function (0 = unchecked).
+  std::uint64_t scenario_digest = 0;
+  /// Free-form identity tag (e.g. "mapping/scenario" for sweep cells).
+  std::string tag;
+};
+
+/// One recovered record: the run's index within its campaign (slot i of the
+/// run() call that wrote the journal) and the bit-exact result.
+struct JournalRecord {
+  std::size_t index = 0;
+  CampaignRunResult result;
+};
+
+/// Everything a scan of an existing journal yields.
+struct JournalContents {
+  JournalHeader header;
+  std::vector<JournalRecord> records;
+  /// Byte offset one past the last intact record — the append position for
+  /// a resuming writer (anything beyond it is a torn tail).
+  std::uint64_t valid_bytes = 0;
+  /// True when a partial trailing record was dropped (interrupted append).
+  bool truncated_tail = false;
+};
+
+/// Scans `path` front to back. Throws minisc::SimError:
+///   - kJournalCorrupt for a checksum-failing or malformed mid-file record
+///     (the message names the record index and the file);
+///   - kBadConfig when the file cannot be opened or is not a journal.
+JournalContents read_journal(const std::string& path);
+
+/// Append-side of the journal. Thread-safe: campaign workers append from
+/// pool threads under one mutex (journal I/O is a few microseconds against
+/// a multi-millisecond simulation, so the lock is not a scaling concern).
+/// Durability is batched: every record is write()n to the file immediately
+/// (surviving a killed process), and fsync'd every `flush_every` records
+/// (surviving a killed machine) as well as on close().
+class JournalWriter {
+ public:
+  /// Creates (or truncates) `path` and writes the header record.
+  JournalWriter(const std::string& path, const JournalHeader& header,
+                std::size_t flush_every = 8);
+
+  /// Re-opens an existing journal for append after a read_journal() scan,
+  /// first truncating any torn tail at `valid_bytes`.
+  JournalWriter(const std::string& path, std::uint64_t valid_bytes,
+                std::size_t flush_every = 8);
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Flushes, fsyncs and closes; errors on this path are swallowed (the
+  /// destructor cannot throw), which at worst loses the tail of the journal
+  /// — exactly the failure the resume path already tolerates.
+  ~JournalWriter();
+
+  /// Appends one run record and makes it visible to readers; fsyncs every
+  /// `flush_every` appends. Thread-safe. Throws minisc::SimError(kBadConfig)
+  /// on I/O failure.
+  void append(std::size_t index, const CampaignRunResult& result);
+
+  /// Forces the batched fsync now.
+  void sync();
+
+ private:
+  std::mutex mu_;
+  int fd_ = -1;
+  std::string path_;
+  std::size_t flush_every_ = 8;
+  std::size_t unsynced_ = 0;
+};
+
+}  // namespace sctrace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -39,6 +40,25 @@ TEST(ThreadPool, ParallelForResultIndependentOfThreadAndChunkCount) {
       EXPECT_EQ(out, reference) << threads << " threads, chunk " << chunk;
     }
   }
+}
+
+TEST(ThreadPool, SparseParallelForRunsExactlyTheGivenIndices) {
+  // The resume path hands the pool the holes left by a journal: arbitrary,
+  // non-contiguous indices. Each must run exactly once; nothing else may.
+  ThreadPool pool(4);
+  const std::vector<std::size_t> indices = {1, 3, 4, 9, 17, 40};
+  std::vector<std::atomic<int>> hits(41);
+  pool.parallel_for(indices, 2, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    const bool wanted =
+        std::find(indices.begin(), indices.end(), i) != indices.end();
+    EXPECT_EQ(hits[i].load(), wanted ? 1 : 0) << "index " << i;
+  }
+  // Empty index sets are a no-op, like the dense n == 0 case.
+  bool ran = false;
+  pool.parallel_for(std::vector<std::size_t>{}, 1,
+                    [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
 }
 
 TEST(ThreadPool, ZeroTasksReturnsImmediately) {

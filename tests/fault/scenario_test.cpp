@@ -234,6 +234,62 @@ TEST(Scenario, StormsAreDeterministicAndIndependentOfOtherSpecs) {
   }
 }
 
+TEST(Scenario, ConfigDigestIsStableAndSensitiveToEveryField) {
+  ScenarioConfig cfg;
+  cfg.horizon = Time::ms(1);
+  cfg.pulses.push_back({"cpu0", 3, 1.0, 2.0});
+  cfg.outages.push_back({"bus", 2, Time::us(1), Time::us(5)});
+  cfg.storms.push_back(
+      {"cpu1", 1, 0.5, 8, Time::us(10), Time::us(1), Time::us(2)});
+  cfg.channel_faults.push_back(
+      {"ch", 0.1, 0.05, 0.0, Time::zero(), Time::ns(10), {}});
+  cfg.crashes.push_back({"proc", Time::us(3), Time::us(7)});
+
+  // Value-identical configs digest identically (the journal resume check
+  // depends on this being a pure function of the spec's values).
+  ScenarioConfig copy = cfg;
+  EXPECT_EQ(config_digest(cfg), config_digest(copy));
+
+  // Any single-field edit changes the digest.
+  const std::uint64_t base = config_digest(cfg);
+  ScenarioConfig m = cfg;
+  m.horizon = Time::ms(2);
+  EXPECT_NE(config_digest(m), base);
+  m = cfg;
+  m.pulses[0].max_extra_cycles = 2.5;
+  EXPECT_NE(config_digest(m), base);
+  m = cfg;
+  m.outages[0].count = 3;
+  EXPECT_NE(config_digest(m), base);
+  m = cfg;
+  m.storms[0].continue_p = 0.6;
+  EXPECT_NE(config_digest(m), base);
+  m = cfg;
+  m.channel_faults[0].drop_p = 0.2;
+  EXPECT_NE(config_digest(m), base);
+  m = cfg;
+  m.crashes[0].restart_after = Time::us(8);
+  EXPECT_NE(config_digest(m), base);
+
+  // Engaging a Gilbert–Elliott burst — even one whose fields are all
+  // defaults — is a different model and must change the digest.
+  m = cfg;
+  m.channel_faults[0].burst = GilbertElliottSpec{};
+  EXPECT_NE(config_digest(m), base);
+  // And editing a field inside the engaged burst changes it again.
+  ScenarioConfig m2 = m;
+  m2.channel_faults[0].burst->p_enter = 0.01;
+  EXPECT_NE(config_digest(m2), config_digest(m));
+
+  // Appending a spec changes the digest even if existing entries are equal.
+  m = cfg;
+  m.pulses.push_back({"cpu0", 3, 1.0, 2.0});
+  EXPECT_NE(config_digest(m), base);
+
+  // An empty config still has a defined digest distinct from a populated one.
+  EXPECT_NE(config_digest(ScenarioConfig{}), base);
+}
+
 TEST(Rng, UniformStaysInRange) {
   Rng rng(42);
   for (int i = 0; i < 1000; ++i) {

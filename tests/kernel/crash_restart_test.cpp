@@ -200,6 +200,52 @@ TEST(Retry, BackoffGivesUpAfterMaxAttempts) {
   EXPECT_EQ(calls, 3);
 }
 
+TEST(Retry, JitterIsDeterministicFromTheSeed) {
+  // Jittered backoff must stay reproducible: the same jitter_seed yields the
+  // same waits on every run, a different seed (almost surely) different ones.
+  const auto elapsed_with_seed = [](std::uint64_t seed) {
+    Simulator sim;
+    Time elapsed;
+    sim.spawn("p", [&] {
+      int calls = 0;
+      BackoffPolicy policy;
+      policy.initial = Time::us(1);
+      policy.factor = 2.0;
+      policy.max_delay = Time::ms(1);
+      policy.jitter = 0.25;
+      policy.jitter_seed = seed;
+      retry_with_backoff([&] { return ++calls == 4; }, policy);
+      elapsed = now();
+    });
+    sim.run();
+    return elapsed;
+  };
+  const Time a = elapsed_with_seed(42);
+  EXPECT_EQ(a, elapsed_with_seed(42));
+  EXPECT_NE(a, elapsed_with_seed(43));
+  // jitter = 0.25 bounds each wait to [0.75, 1.25) of nominal; the nominal
+  // total is 7 us (1 + 2 + 4).
+  EXPECT_GE(a, Time::ns(5250));   // 7 us * 0.75
+  EXPECT_LT(a, Time::ns(8750));   // 7 us * 1.25
+}
+
+TEST(Retry, ZeroJitterKeepsWaitsExact) {
+  Simulator sim;
+  Time elapsed;
+  sim.spawn("p", [&] {
+    int calls = 0;
+    BackoffPolicy policy;
+    policy.initial = Time::us(1);
+    policy.factor = 2.0;
+    policy.max_delay = Time::ms(1);
+    policy.jitter_seed = 99;  // ignored while jitter == 0
+    retry_with_backoff([&] { return ++calls == 3; }, policy);
+    elapsed = now();
+  });
+  EXPECT_EQ(sim.run(), StopReason::kFinished);
+  EXPECT_EQ(elapsed, Time::us(3));  // exactly 1 + 2
+}
+
 TEST(Errors, ZeroCapacityFifoIsRejectedLoudly) {
   Simulator sim;  // channels need a live simulator for their events
   try {

@@ -99,6 +99,57 @@ TEST(Watchdog, WallClockBudgetConvertsHangIntoError) {
   }
 }
 
+// The ambient per-run budget reaches Simulators the campaign never sees:
+// ones constructed inside the user's run function, with no Watchdog set.
+TEST(Watchdog, RunBudgetScopeTripsSimulatorsWithoutTheirOwnWatchdog) {
+  ASSERT_FALSE(RunBudgetScope::active());
+  RunBudgetScope budget(50);
+  ASSERT_TRUE(RunBudgetScope::active());
+  EXPECT_EQ(RunBudgetScope::budget_ms(), 50u);
+  Simulator sim;  // note: no set_watchdog
+  sim.spawn("spin", [] {
+    while (true) wait(Time::ps(1));
+  });
+  try {
+    sim.run();
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimError::Kind::kWallClockBudget);
+    EXPECT_NE(std::string(e.what()).find("per-run wall-clock budget"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Watchdog, RunBudgetScopeRestoresOnExitAndZeroIsInactive) {
+  {
+    RunBudgetScope off(0);  // budget 0 = unlimited: installs nothing
+    EXPECT_FALSE(RunBudgetScope::active());
+  }
+  {
+    RunBudgetScope outer(10000);
+    {
+      // The tighter deadline wins; the looser nested scope is a no-op.
+      RunBudgetScope inner(50);
+      EXPECT_EQ(RunBudgetScope::budget_ms(), 50u);
+    }
+    EXPECT_EQ(RunBudgetScope::budget_ms(), 10000u);
+    EXPECT_FALSE(RunBudgetScope::expired());
+    // A generous budget does not disturb a well-behaved simulation.
+    Simulator sim;
+    int laps = 0;
+    sim.spawn("worker", [&] {
+      for (int i = 0; i < 50; ++i) {
+        wait(Time::ns(10));
+        ++laps;
+      }
+    });
+    EXPECT_EQ(sim.run(), StopReason::kFinished);
+    EXPECT_EQ(laps, 50);
+  }
+  EXPECT_FALSE(RunBudgetScope::active());
+}
+
 TEST(Watchdog, SimTimeBudgetIsAnErrorNotAPause) {
   Simulator sim;
   Watchdog w;

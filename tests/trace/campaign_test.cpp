@@ -130,7 +130,7 @@ TEST(Campaign, CsvSchemaRoundTrips) {
   EXPECT_EQ(header,
             "seed,completed,makespan_ns,deadline_total,deadline_missed,"
             "faults_injected,recovery_samples,mean_recovery_ns,log_weight,"
-            "weight,energy_pj,fault_energy_pj,value_hash");
+            "weight,energy_pj,fault_energy_pj,value_hash,attempts");
   const std::size_t columns = std::count(header.begin(), header.end(), ',') + 1;
   std::string row;
   std::size_t rows = 0;
@@ -256,6 +256,33 @@ TEST(CampaignSweep, RunsEveryCellAndExposesTheGrid) {
   // header + 4 cells
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
   EXPECT_NE(csv.find("b,y,3,0,12,12,1,"), std::string::npos);
+}
+
+TEST(Campaign, CollapsedEssPrintsAWarning) {
+  // One run dominating the weights collapses the Kish ESS: 20 runs, one
+  // with weight e^10 -> ESS ~ 1 < 10% of 20. The report must say so.
+  FaultCampaign skewed([](std::uint64_t seed) {
+    CampaignRunResult r;
+    r.deadline_total = 4;
+    r.log_weight = (seed == 0) ? 10.0 : 0.0;
+    return r;
+  });
+  skewed.run(0, 20);
+  std::ostringstream os;
+  skewed.report().print(os);
+  EXPECT_NE(os.str().find("WARNING: ESS"), std::string::npos) << os.str();
+
+  // Balanced weights keep the report warning-free.
+  FaultCampaign balanced([](std::uint64_t) {
+    CampaignRunResult r;
+    r.deadline_total = 4;
+    r.log_weight = 0.3;
+    return r;
+  });
+  balanced.run(0, 20);
+  std::ostringstream quiet;
+  balanced.report().print(quiet);
+  EXPECT_EQ(quiet.str().find("WARNING"), std::string::npos) << quiet.str();
 }
 
 TEST(Campaign, MeanCi95MatchesFormula) {
