@@ -33,6 +33,13 @@
 //   --journal records the mapping x scenario sweep in per-cell journals
 //   next to the binary (fault_correlated_sweep.journal.<cell>); --resume
 //   replays completed cells/runs from them after an interruption.
+//   --shard i/N runs this process as worker i of an N-shard fleet over the
+//   burst campaign only: shards claim leases in the shared --shard-dir
+//   (default fault_correlated_burst.shard/ next to the binary), adopt
+//   stale leases of dead workers, and exit when every shard journal is
+//   complete. --lease-ttl-ms MS sets the adoption staleness threshold
+//   (default 10000). --merge folds the shard journals back into the same
+//   fault_correlated_burst.csv an uninterrupted run writes, byte-identically.
 
 #include <chrono>
 #include <cstdio>
@@ -49,7 +56,9 @@
 #include "core/scperf.hpp"
 #include "fault/channels.hpp"
 #include "fault/injector.hpp"
+#include "kernel/error.hpp"
 #include "trace/campaign.hpp"
+#include "trace/shard.hpp"
 
 namespace {
 
@@ -251,6 +260,15 @@ RunOptions scenario_options(const std::string& name, bool split_cpu) {
 sctrace::CampaignOptions g_campaign_opts;
 bool g_journal = false;
 
+// Fleet mode over the burst campaign: --shard i/N workers share
+// g_shard_dir; --merge folds its journals back into the burst CSV.
+bool g_shard = false;
+bool g_merge = false;
+std::size_t g_shard_index = 0;
+std::size_t g_shard_count = 1;
+std::string g_shard_dir;
+std::uint64_t g_lease_ttl_ms = 10000;
+
 /// CSV artifacts land next to the binary (build/bench/), not in the
 /// caller's cwd, so runs never litter the source tree.
 std::string g_out_dir;
@@ -310,6 +328,20 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       g_journal = true;  // --resume implies journalling
       g_campaign_opts.resume = true;
+    } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+      if (std::sscanf(argv[++i], "%zu/%zu", &g_shard_index, &g_shard_count) !=
+              2 ||
+          g_shard_count == 0 || g_shard_index >= g_shard_count) {
+        std::printf("bad --shard '%s' (want i/N with i < N)\n", argv[i]);
+        return 1;
+      }
+      g_shard = true;
+    } else if (std::strcmp(argv[i], "--shard-dir") == 0 && i + 1 < argc) {
+      g_shard_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--lease-ttl-ms") == 0 && i + 1 < argc) {
+      g_lease_ttl_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--merge") == 0) {
+      g_merge = true;
     } else {
       pct = std::atoi(argv[i]);
     }
@@ -317,6 +349,59 @@ int main(int argc, char** argv) {
   const bool full = pct >= 100;
   constexpr std::uint64_t kSeed = 42;
   bool ok = true;
+  if (g_shard_dir.empty()) {
+    g_shard_dir = out_path("fault_correlated_burst.shard");
+  }
+
+  if (g_merge) {
+    // Fold the fleet's burst-campaign journals into the same CSV an
+    // uninterrupted single-process run writes, byte-identically.
+    try {
+      sctrace::MergedCampaign merged = sctrace::merge_shard_dir(g_shard_dir);
+      std::printf("merged %zu shards: %zu burst runs, base seed %llu\n",
+                  merged.shard_count, merged.runs,
+                  static_cast<unsigned long long>(merged.base_seed));
+      sctrace::FaultCampaign c(std::move(merged.results));
+      std::ofstream csv(out_path("fault_correlated_burst.csv"));
+      c.write_csv(csv);
+      std::ostringstream report;
+      c.report().print(report);
+      std::fputs(report.str().c_str(), stdout);
+      std::printf("  per-run rows -> %s\n",
+                  out_path("fault_correlated_burst.csv").c_str());
+    } catch (const minisc::SimError& e) {
+      std::printf("MERGE REFUSED: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (g_shard) {
+    // Worker mode: the burst campaign only, gates skipped — the merged CSV
+    // cmp against an uninterrupted run is the determinism gate here.
+    const std::size_t n_ab = scaled(150, pct);
+    const RunOptions opt = scenario_options("burst", /*split_cpu=*/false);
+    sctrace::CampaignOptions co = g_campaign_opts;
+    co.journal_tag = "burst";
+    co.scenario_digest = scfault::config_digest(opt.cfg);
+    sctrace::ShardOptions so;
+    so.dir = g_shard_dir;
+    so.shard_index = g_shard_index;
+    so.shard_count = g_shard_count;
+    so.lease_ttl_ms = g_lease_ttl_ms;
+    std::printf("shard worker %zu/%zu over %zu burst runs, dir %s\n",
+                g_shard_index, g_shard_count, n_ab, g_shard_dir.c_str());
+    const sctrace::ShardProgress p = sctrace::run_sharded_campaign(
+        [opt](std::uint64_t s) { return run_stream(s, opt); }, kSeed, n_ab,
+        so, co);
+    std::printf(
+        "worker %zu/%zu: %zu shards run, adopted %zu, %zu runs executed, "
+        "%zu lease conflicts, %zu shards lost, campaign %s\n",
+        g_shard_index, g_shard_count, p.shards_run, p.shards_adopted,
+        p.runs_executed, p.lease_conflicts, p.shards_lost,
+        p.campaign_complete ? "complete" : "incomplete");
+    return 0;
+  }
 
   std::printf("Correlated-fault ablation, %d-frame stream, scale %d%%, "
               "%zu campaign thread(s)\n\n",

@@ -19,6 +19,8 @@
 //
 // Usage: ablation_fault_resilience [--threads N] [--runs N]
 //                                  [--journal] [--resume]
+//                                  [--shard i/N] [--shard-dir DIR]
+//                                  [--lease-ttl-ms MS] [--merge]
 //   --threads N runs each campaign on an N-worker pool; output is
 //   byte-identical to the sequential run (verified for the resilient
 //   campaign) and the wall-clock speedup is reported.
@@ -29,6 +31,19 @@
 //               executes the missing seeds — kill this binary at any point
 //               and rerun with --journal --resume to finish the campaign;
 //               the final CSVs are byte-identical to an uninterrupted run.
+//   --shard i/N runs this process as fleet worker i of N: claims shard
+//               leases in the shared --shard-dir, executes its chunks as
+//               journaled campaigns, and adopts stale leases of workers
+//               that died (SIGKILL included), re-running only their
+//               missing seeds. Exits once every shard journal is complete.
+//   --shard-dir DIR  shared shard directory (default: a
+//               fault_resilience.shard/ directory next to the binary).
+//   --lease-ttl-ms MS  heartbeat staleness threshold for adoption
+//               (default 10000).
+//   --merge     folds the shard journals in --shard-dir into the same
+//               report + CSV output an uninterrupted single-process run
+//               produces, byte-identically; refuses mixed format versions
+//               or fault-model digests and incomplete fleets.
 
 #include <chrono>
 #include <cstdio>
@@ -43,8 +58,10 @@
 #include "core/scperf.hpp"
 #include "fault/channels.hpp"
 #include "fault/injector.hpp"
+#include "kernel/error.hpp"
 #include "trace/campaign.hpp"
 #include "trace/journal.hpp"
+#include "trace/shard.hpp"
 
 namespace {
 
@@ -229,9 +246,64 @@ CampaignRunResult run_pipeline(std::uint64_t seed, bool resilient) {
 sctrace::CampaignOptions g_campaign_opts;
 bool g_journal = false;
 
+// Fleet mode: --shard i/N workers share g_shard_dir; --merge folds it back.
+bool g_shard = false;
+bool g_merge = false;
+std::size_t g_shard_index = 0;
+std::size_t g_shard_count = 1;
+std::string g_shard_dir;
+std::uint64_t g_lease_ttl_ms = 10000;
+
 /// CSV artifacts land next to the binary (build/bench/), not in the
 /// caller's cwd, so runs never litter the source tree.
 std::string g_out_dir;
+
+/// Shared report + CSV emission: the merge path must go through the exact
+/// same code as a live campaign for its output to be byte-identical.
+void emit_campaign(const char* label, const sctrace::FaultCampaign& campaign) {
+  std::printf("== %s mapping ==\n", label);
+  std::ostringstream report;
+  campaign.report().print(report);
+  std::fputs(report.str().c_str(), stdout);
+
+  std::string csv_name = g_out_dir + "fault_resilience_" + label + ".csv";
+  std::ofstream csv(csv_name);
+  campaign.write_csv(csv);
+  std::printf("  per-run rows -> %s\n\n", csv_name.c_str());
+}
+
+void run_shard_worker(const char* label, bool resilient,
+                      std::uint64_t base_seed, std::size_t n) {
+  sctrace::CampaignOptions opts = g_campaign_opts;
+  opts.journal_tag = label;
+  opts.scenario_digest = scfault::config_digest(fault_model());
+
+  sctrace::ShardOptions so;
+  so.dir = g_shard_dir + "/" + label;  // labels keep separate fleets
+  so.shard_index = g_shard_index;
+  so.shard_count = g_shard_count;
+  so.lease_ttl_ms = g_lease_ttl_ms;
+
+  const sctrace::ShardProgress p = sctrace::run_sharded_campaign(
+      [resilient](std::uint64_t seed) { return run_pipeline(seed, resilient); },
+      base_seed, n, so, opts);
+  std::printf(
+      "  [%s] worker %zu/%zu: %zu shards run, adopted %zu, %zu runs "
+      "executed, %zu lease conflicts, %zu shards lost, campaign %s\n",
+      label, g_shard_index, g_shard_count, p.shards_run, p.shards_adopted,
+      p.runs_executed, p.lease_conflicts, p.shards_lost,
+      p.campaign_complete ? "complete" : "incomplete");
+}
+
+void run_merge(const char* label) {
+  sctrace::MergedCampaign merged =
+      sctrace::merge_shard_dir(g_shard_dir + "/" + label);
+  std::printf("  [%s] merged %zu shards: %zu runs, base seed %llu\n", label,
+              merged.shard_count, merged.runs,
+              static_cast<unsigned long long>(merged.base_seed));
+  sctrace::FaultCampaign campaign(std::move(merged.results));
+  emit_campaign(label, campaign);
+}
 
 void run_campaign(const char* label, bool resilient, std::uint64_t base_seed,
                   std::size_t n) {
@@ -255,17 +327,7 @@ void run_campaign(const char* label, bool resilient, std::uint64_t base_seed,
   sctrace::FaultCampaign campaign(
       [resilient](std::uint64_t seed) { return run_pipeline(seed, resilient); });
   campaign.run(base_seed, n, opts);
-
-  std::printf("== %s mapping ==\n", label);
-  std::ostringstream report;
-  campaign.report().print(report);
-  std::fputs(report.str().c_str(), stdout);
-
-  std::string csv_name =
-      g_out_dir + "fault_resilience_" + label + ".csv";
-  std::ofstream csv(csv_name);
-  campaign.write_csv(csv);
-  std::printf("  per-run rows -> %s\n\n", csv_name.c_str());
+  emit_campaign(label, campaign);
 }
 
 }  // namespace
@@ -288,9 +350,49 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       g_journal = true;  // --resume implies journalling
       g_campaign_opts.resume = true;
+    } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+      if (std::sscanf(argv[++i], "%zu/%zu", &g_shard_index, &g_shard_count) !=
+              2 ||
+          g_shard_count == 0 || g_shard_index >= g_shard_count) {
+        std::printf("bad --shard '%s' (want i/N with i < N)\n", argv[i]);
+        return 1;
+      }
+      g_shard = true;
+    } else if (std::strcmp(argv[i], "--shard-dir") == 0 && i + 1 < argc) {
+      g_shard_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--lease-ttl-ms") == 0 && i + 1 < argc) {
+      g_lease_ttl_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--merge") == 0) {
+      g_merge = true;
     }
   }
   const std::size_t kRuns = runs;
+  if (g_shard_dir.empty()) g_shard_dir = g_out_dir + "fault_resilience.shard";
+
+  if (g_merge) {
+    // Merge mode touches no simulation: fold the fleet's journals back into
+    // the single-process report + CSV, byte-identically, or refuse loudly.
+    try {
+      run_merge("non_resilient");
+      run_merge("resilient");
+    } catch (const minisc::SimError& e) {
+      std::printf("MERGE REFUSED: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (g_shard) {
+    // Worker mode: skip the determinism/parallel gates (the merged output
+    // is itself the determinism gate — it must cmp-equal the uninterrupted
+    // single-process CSV) and go straight to claiming shards.
+    std::printf("shard worker %zu/%zu over %zu runs, dir %s, TTL %llu ms\n",
+                g_shard_index, g_shard_count, kRuns, g_shard_dir.c_str(),
+                static_cast<unsigned long long>(g_lease_ttl_ms));
+    run_shard_worker("non_resilient", /*resilient=*/false, kBaseSeed, kRuns);
+    run_shard_worker("resilient", /*resilient=*/true, kBaseSeed, kRuns);
+    return 0;
+  }
 
   std::printf(
       "Fault-resilience ablation: %d-frame pipeline, %zu seeded scenarios\n"

@@ -22,12 +22,19 @@ const char* to_string(SimError::Kind k) {
       return "bad_config";
     case SimError::Kind::kJournalCorrupt:
       return "journal_corrupt";
+    case SimError::Kind::kLeaseConflict:
+      return "lease_conflict";
+    case SimError::Kind::kShardVersionMismatch:
+      return "shard_version_mismatch";
+    case SimError::Kind::kMergeIncomplete:
+      return "merge_incomplete";
   }
   return "?";
 }
 
 bool is_transient(SimError::Kind k) {
-  return k == SimError::Kind::kWallClockBudget;
+  return k == SimError::Kind::kWallClockBudget ||
+         k == SimError::Kind::kLeaseConflict;
 }
 
 std::string ProcessDiagnostic::str() const {
@@ -51,7 +58,9 @@ std::string SimError::format(Kind kind, const std::string& summary,
   std::ostringstream os;
   os << "minisc::SimError(" << to_string(kind) << "): " << summary;
   if (kind != Kind::kNoSimulator && kind != Kind::kNoProcessContext &&
-      kind != Kind::kBadConfig && kind != Kind::kJournalCorrupt) {
+      kind != Kind::kBadConfig && kind != Kind::kJournalCorrupt &&
+      kind != Kind::kLeaseConflict && kind != Kind::kShardVersionMismatch &&
+      kind != Kind::kMergeIncomplete) {
     os << " at t=" << sim_time.str() << " delta=" << delta;
   }
   for (const ProcessDiagnostic& p : processes) {

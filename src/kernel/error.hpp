@@ -36,6 +36,9 @@ class SimError : public std::runtime_error {
     kNoProcessContext,  ///< process-only operation called from outside
     kBadConfig,         ///< invalid construction parameter
     kJournalCorrupt,    ///< campaign run journal failed a record checksum
+    kLeaseConflict,     ///< shard lease already held by a live worker
+    kShardVersionMismatch,  ///< journal format version differs from this build
+    kMergeIncomplete,   ///< shard merge is missing journals or run records
   };
 
   SimError(Kind kind, std::string summary, Time sim_time = Time::zero(),
@@ -71,11 +74,12 @@ const char* to_string(SimError::Kind k);
 /// Transient / permanent classification driving campaign retry policy.
 /// The simulation itself is deterministic, so almost every SimError is
 /// permanent: the same seed will storm, overrun its simulated-time budget or
-/// reject its config again on every retry. The exception is the wall-clock
-/// budget, which measures *host* time — a loaded machine, a paused VM or a
-/// cold cache can trip it on one attempt and not the next. Only
-/// kWallClockBudget is therefore transient (retry-worthy); everything else
-/// fails fast.
+/// reject its config again on every retry. The exceptions measure the *host*
+/// rather than the simulation: kWallClockBudget (a loaded machine, a paused
+/// VM or a cold cache can trip it on one attempt and not the next) and
+/// kLeaseConflict (two fleet workers raced for the same shard lease — the
+/// loser simply claims again later, or claims a different shard). Everything
+/// else fails fast.
 bool is_transient(SimError::Kind k);
 
 inline bool SimError::transient() const { return is_transient(kind_); }

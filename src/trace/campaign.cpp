@@ -89,6 +89,11 @@ std::unique_ptr<JournalWriter> open_journal(
   header.runs = n;
   header.scenario_digest = opts.scenario_digest;
   header.tag = opts.journal_tag;
+  header.shard_index = opts.shard_index;
+  header.shard_count = opts.shard_count == 0 ? 1 : opts.shard_count;
+  header.shard_begin = opts.shard_begin;
+  header.total_runs = opts.total_runs == 0 ? n : opts.total_runs;
+  header.worker_id = opts.worker_id;
 
   if (opts.resume) {
     std::ifstream probe(opts.journal_path, std::ios::binary);
@@ -98,6 +103,19 @@ std::unique_ptr<JournalWriter> open_journal(
     probe.close();
     if (nonempty) {
       JournalContents contents = read_journal(opts.journal_path);
+      if (contents.header.version != JournalHeader::kVersion) {
+        // Readable (read_journal parsed it) but not extendable: appending
+        // current-version records under an old header would produce a file
+        // no single version fully describes.
+        throw minisc::SimError(
+            minisc::SimError::Kind::kShardVersionMismatch,
+            "campaign journal '" + opts.journal_path + "' has format version " +
+                std::to_string(contents.header.version) +
+                " but this build appends version " +
+                std::to_string(JournalHeader::kVersion) +
+                " — old journals are read-only (read_journal); delete the "
+                "file to re-run the campaign under the current format");
+      }
       if (contents.header.base_seed != base_seed ||
           contents.header.runs != n ||
           contents.header.scenario_digest != opts.scenario_digest ||
@@ -113,6 +131,31 @@ std::unique_ptr<JournalWriter> open_journal(
                 std::to_string(base_seed) + " runs=" + std::to_string(n) +
                 " digest=" + std::to_string(opts.scenario_digest) + " tag='" +
                 opts.journal_tag + "') — refusing to mix their runs");
+      }
+      // Shard identity must match too — all of it except worker_id, which
+      // names the journal's creator: adoption of a dead worker's shard
+      // resumes under a different worker id by design.
+      const std::uint64_t want_count = opts.shard_count == 0 ? 1 : opts.shard_count;
+      const std::uint64_t want_total = opts.total_runs == 0 ? n : opts.total_runs;
+      if (contents.header.shard_index != opts.shard_index ||
+          contents.header.shard_count != want_count ||
+          contents.header.shard_begin != opts.shard_begin ||
+          contents.header.total_runs != want_total) {
+        throw minisc::SimError(
+            minisc::SimError::Kind::kBadConfig,
+            "campaign journal '" + opts.journal_path +
+                "' belongs to shard " +
+                std::to_string(contents.header.shard_index) + "/" +
+                std::to_string(contents.header.shard_count) + " at [" +
+                std::to_string(contents.header.shard_begin) + ", +" +
+                std::to_string(contents.header.runs) + ") of " +
+                std::to_string(contents.header.total_runs) +
+                " total runs; resuming as shard " +
+                std::to_string(opts.shard_index) + "/" +
+                std::to_string(want_count) + " at [" +
+                std::to_string(opts.shard_begin) + ", +" + std::to_string(n) +
+                ") of " + std::to_string(want_total) +
+                " — refusing to mix shard layouts");
       }
       std::vector<bool> done(n, false);
       for (JournalRecord& rec : contents.records) {
@@ -143,6 +186,12 @@ std::unique_ptr<JournalWriter> open_journal(
 
 void FaultCampaign::run(std::uint64_t base_seed, std::size_t n,
                         const CampaignOptions& opts) {
+  if (!fn_) {
+    throw minisc::SimError(
+        minisc::SimError::Kind::kBadConfig,
+        "FaultCampaign::run on a merge-constructed campaign: it carries "
+        "recorded results only, there is no run function to execute");
+  }
   // Pre-sized slot array: run i (seed base_seed + i) writes slot offset + i
   // and nothing else, so the assembled results — and therefore report() and
   // write_csv() — are identical whether the slots fill on one thread or
@@ -413,6 +462,22 @@ void CampaignSweep::print(std::ostream& os) const {
     os << '\n';
   }
   os << std::defaultfloat << std::setprecision(static_cast<int>(old_prec));
+  // Degenerate-weight cells: the single-campaign Report::print warning,
+  // surfaced at the grid level so a sharded sweep cannot hide a collapsed
+  // importance bias inside one quiet cell. Weight-free sweeps print nothing
+  // here, keeping the historical grid bytes.
+  for (const Cell& c : cells_) {
+    const CampaignReport& r = c.report;
+    const std::size_t completed = r.runs - r.failed_runs;
+    if (r.importance_sampled && completed > 0 &&
+        r.effective_sample_size < 0.1 * static_cast<double>(completed)) {
+      os << "WARNING: cell " << c.mapping << "/" << c.scenario << ": ESS "
+         << r.effective_sample_size << " is below 10% of " << completed
+         << " completed runs — the importance bias explores a different "
+            "region than the nominal model in this cell; re-tune it (see "
+            "ROADMAP: adaptive importance sampling)\n";
+    }
+  }
 }
 
 void CampaignSweep::write_csv(std::ostream& os, bool with_cache_stats) const {

@@ -170,6 +170,21 @@ struct CampaignOptions {
   /// host power cut — a killed *process* loses nothing).
   std::size_t journal_flush_every = 8;
 
+  // ---- shard identity (journal header v2; set by trace/shard.hpp) ----
+  //
+  // A sharded fleet campaign runs this campaign as shard `shard_index` of
+  // `shard_count`, covering global run indices [shard_begin, shard_begin +
+  // n) of a `total_runs`-run campaign. The identity is pinned in the
+  // journal header and checked on resume — except worker_id, which records
+  // the journal's *creator* and is exempt so a surviving worker can adopt
+  // and extend a dead worker's journal. The defaults are the degenerate
+  // unsharded identity; plain campaigns never need to touch these.
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
+  std::uint64_t shard_begin = 0;
+  std::uint64_t total_runs = 0;  ///< 0 = the n passed to run()
+  std::string worker_id;
+
   // ---- per-run retry and timeout budgets ----
 
   /// Attempts per seed: transient SimErrors (minisc::is_transient) retry up
@@ -208,6 +223,15 @@ class FaultCampaign {
   using RunFn = std::function<CampaignRunResult(std::uint64_t seed)>;
 
   explicit FaultCampaign(RunFn fn) : fn_(std::move(fn)) {}
+
+  /// Builds a campaign directly from recorded results — the merge path:
+  /// sctrace::merge_journals folds shard journals into the global result
+  /// vector and this constructor makes report()/write_csv() available on
+  /// it, byte-identical to the single-process campaign that would have
+  /// produced the same runs. run() on such a campaign throws
+  /// minisc::SimError(kBadConfig): there is no run function to execute.
+  explicit FaultCampaign(std::vector<CampaignRunResult> results)
+      : results_(std::move(results)) {}
 
   /// Runs seeds base_seed .. base_seed + n - 1. With opts.threads > 1 the
   /// seeds run on a thread pool; every seed's result lands in its own slot,

@@ -105,11 +105,18 @@ struct Cursor {
 
 std::string encode_header(const JournalHeader& h) {
   std::string out;
-  put_u32(out, h.version);
+  put_u32(out, JournalHeader::kVersion);
   put_u64(out, h.base_seed);
   put_u64(out, h.runs);
   put_u64(out, h.scenario_digest);
   put_string(out, h.tag);
+  // v2 shard identity block. A writer always emits the current version;
+  // unsharded campaigns carry the degenerate shard-0-of-1 identity.
+  put_u64(out, h.shard_index);
+  put_u64(out, h.shard_count == 0 ? 1 : h.shard_count);
+  put_u64(out, h.shard_begin);
+  put_u64(out, h.total_runs == 0 ? h.runs : h.total_runs);
+  put_string(out, h.worker_id);
   return out;
 }
 
@@ -205,17 +212,34 @@ JournalContents read_journal(const std::string& path) {
         throw_corrupt(path, record, "is not the expected header record");
       }
       out.header.version = c.u32();
+      if (out.header.version != 1 && out.header.version != JournalHeader::kVersion) {
+        throw SimError(
+            SimError::Kind::kShardVersionMismatch,
+            "campaign journal '" + path + "': format version " +
+                std::to_string(out.header.version) +
+                ", but this build reads versions 1-" +
+                std::to_string(JournalHeader::kVersion) +
+                " — journals from different releases refuse to mix");
+      }
       out.header.base_seed = c.u64();
       out.header.runs = c.u64();
       out.header.scenario_digest = c.u64();
       out.header.tag = c.str();
-      if (!c.done()) throw_corrupt(path, record, "has a malformed header");
-      if (out.header.version != 1) {
-        throw SimError(SimError::Kind::kBadConfig,
-                       "campaign journal '" + path +
-                           "': unsupported format version " +
-                           std::to_string(out.header.version));
+      if (out.header.version >= 2) {
+        out.header.shard_index = c.u64();
+        out.header.shard_count = c.u64();
+        out.header.shard_begin = c.u64();
+        out.header.total_runs = c.u64();
+        out.header.worker_id = c.str();
+      } else {
+        // v1 compat: pre-shard journals are the whole campaign by definition.
+        out.header.shard_index = 0;
+        out.header.shard_count = 1;
+        out.header.shard_begin = 0;
+        out.header.total_runs = out.header.runs;
+        out.header.worker_id.clear();
       }
+      if (!c.done()) throw_corrupt(path, record, "has a malformed header");
       have_header = true;
     } else {
       if (type != kRunType) {
@@ -254,9 +278,20 @@ JournalContents read_journal(const std::string& path) {
     ++record;
   }
   if (!have_header) {
-    throw SimError(SimError::Kind::kBadConfig,
+    if (size == 0) {
+      throw SimError(SimError::Kind::kBadConfig,
+                     "campaign journal '" + path + "': file is empty");
+    }
+    // Bytes but no intact header: the writer died inside its very first
+    // write. Unlike a torn *run* record (tolerated — that seed re-runs),
+    // a torn header leaves nothing to trust about the file's identity, so
+    // this is corruption, not a resumable tail.
+    throw SimError(SimError::Kind::kJournalCorrupt,
                    "campaign journal '" + path +
-                       "': no intact header record (empty or torn file)");
+                       "': header record is torn or truncated (" +
+                       std::to_string(size) +
+                       " bytes, no intact header) — the journal cannot "
+                       "identify its campaign; delete it to start fresh");
   }
   out.valid_bytes = pos;
   out.truncated_tail = pos < size;
@@ -267,7 +302,10 @@ JournalWriter::JournalWriter(const std::string& path,
                              const JournalHeader& header,
                              std::size_t flush_every)
     : path_(path), flush_every_(flush_every == 0 ? 1 : flush_every) {
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  // O_APPEND: every record lands atomically at EOF, so even a pathological
+  // lease-TTL violation (two writers on one shard journal) interleaves whole
+  // records rather than tearing them mid-frame.
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
   if (fd_ < 0) throw_io(path, "open");
   const std::string rec = frame(kHeaderType, encode_header(header));
   std::size_t off = 0;
@@ -283,7 +321,7 @@ JournalWriter::JournalWriter(const std::string& path,
                              std::uint64_t valid_bytes,
                              std::size_t flush_every)
     : path_(path), flush_every_(flush_every == 0 ? 1 : flush_every) {
-  fd_ = ::open(path.c_str(), O_WRONLY, 0644);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND, 0644);
   if (fd_ < 0) throw_io(path, "open");
   // Cut the torn tail before appending: the new record must start exactly
   // where the last intact one ended or the framing chain breaks.

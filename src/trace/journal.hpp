@@ -39,14 +39,42 @@ namespace sctrace {
 /// tag. Resume refuses a journal whose header disagrees with the campaign
 /// being run — mixing runs of different fault models is how silent garbage
 /// gets into papers.
+///
+/// Format version 2 adds the shard identity block (see trace/shard.hpp): a
+/// journal can be one shard of a fleet-scale campaign, covering the global
+/// run indices [shard_begin, shard_begin + runs) of a total_runs-run
+/// campaign split into shard_count journals. Unsharded campaigns write the
+/// degenerate identity (shard 0 of 1, begin 0, total == runs). worker_id
+/// names the process that *created* the journal — adoption of a dead
+/// worker's shard appends under the original header, so the id is
+/// provenance, not ownership (ownership lives in the lease file).
+///
+/// Version 1 journals (pre-shard) remain readable — read_journal fills the
+/// shard fields with the degenerate identity — but are read-only: resume and
+/// merge refuse to extend them (SimError(kShardVersionMismatch) naming both
+/// versions), because appending v2-era records under a v1 header would make
+/// the file lie about what a reader can assume of it.
 struct JournalHeader {
-  std::uint32_t version = 1;
+  /// The format this build writes; read_journal accepts 1 and 2.
+  static constexpr std::uint32_t kVersion = 2;
+
+  std::uint32_t version = kVersion;
   std::uint64_t base_seed = 0;
   std::uint64_t runs = 0;
   /// Fingerprint of the fault model behind the run function (0 = unchecked).
   std::uint64_t scenario_digest = 0;
   /// Free-form identity tag (e.g. "mapping/scenario" for sweep cells).
   std::string tag;
+
+  // ---- v2: shard identity (degenerate defaults for unsharded campaigns) ----
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
+  /// Global run index of this journal's slot 0.
+  std::uint64_t shard_begin = 0;
+  /// Campaign-wide run count across all shards (0 is normalised to `runs`).
+  std::uint64_t total_runs = 0;
+  /// Free-form id of the worker process that created the journal.
+  std::string worker_id;
 };
 
 /// One recovered record: the run's index within its campaign (slot i of the
@@ -69,8 +97,13 @@ struct JournalContents {
 
 /// Scans `path` front to back. Throws minisc::SimError:
 ///   - kJournalCorrupt for a checksum-failing or malformed mid-file record
-///     (the message names the record index and the file);
-///   - kBadConfig when the file cannot be opened or is not a journal.
+///     (the message names the record index and the file), and for a torn or
+///     truncated *header* — a file with bytes but no intact header record
+///     is a crash during journal creation, and resuming "from" it would
+///     silently produce a fresh campaign wearing the old file's name;
+///   - kShardVersionMismatch for a header whose format version this build
+///     does not read (the message names both versions);
+///   - kBadConfig when the file cannot be opened or is empty.
 JournalContents read_journal(const std::string& path);
 
 /// Append-side of the journal. Thread-safe: campaign workers append from

@@ -1,0 +1,548 @@
+#include "trace/shard.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "kernel/error.hpp"
+
+namespace sctrace {
+namespace {
+
+using minisc::SimError;
+
+[[noreturn]] void throw_io(const std::string& path, const char* op) {
+  throw SimError(SimError::Kind::kBadConfig,
+                 "shard lease '" + path + "': " + op + " failed: " +
+                     std::strerror(errno));
+}
+
+std::uint64_t wall_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Lease mtime in the same epoch as wall_now_ms. Returns false if the file
+/// vanished (claimed-then-released, or stolen) between the caller's checks.
+bool lease_mtime_ms(const std::string& path, std::uint64_t* out) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return false;
+  *out = static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1000ull +
+         static_cast<std::uint64_t>(st.st_mtim.tv_nsec) / 1000000ull;
+  return true;
+}
+
+/// Whole-file read of a small lease; "" on any error (treated as not-ours).
+std::string read_lease_owner(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::string s((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  return s;
+}
+
+/// O_EXCL lease creation — the atomic "exactly one winner" claim. Returns
+/// false when the path already exists (lost the race); throws on real I/O
+/// failure. The worker id is the file content, fsynced so an adopter's
+/// ownership probe never reads a torn id.
+bool create_lease_file(const std::string& path, const std::string& worker_id) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) return false;
+    throw_io(path, "open(O_EXCL)");
+  }
+  std::size_t off = 0;
+  while (off < worker_id.size()) {
+    const ssize_t n = ::write(fd, worker_id.data() + off,
+                              worker_id.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      throw_io(path, "write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_io(path, "fsync");
+  }
+  ::close(fd);
+  return true;
+}
+
+[[noreturn]] void throw_conflict(const std::string& path, const std::string& why) {
+  throw SimError(SimError::Kind::kLeaseConflict,
+                 "shard lease '" + path + "': " + why);
+}
+
+[[noreturn]] void throw_merge_bad(const std::string& what) {
+  throw SimError(SimError::Kind::kBadConfig, "campaign merge: " + what);
+}
+
+[[noreturn]] void throw_merge_incomplete(const std::string& what) {
+  throw SimError(SimError::Kind::kMergeIncomplete, "campaign merge: " + what);
+}
+
+}  // namespace
+
+ShardRange shard_range(std::size_t shard, std::size_t shard_count,
+                       std::size_t total_runs) {
+  if (shard_count == 0 || shard >= shard_count) {
+    throw SimError(SimError::Kind::kBadConfig,
+                   "shard_range: shard " + std::to_string(shard) +
+                       " out of range for " + std::to_string(shard_count) +
+                       " shards");
+  }
+  const std::size_t base = total_runs / shard_count;
+  const std::size_t rem = total_runs % shard_count;
+  ShardRange r;
+  r.begin = shard * base + std::min(shard, rem);
+  r.end = r.begin + base + (shard < rem ? 1 : 0);
+  return r;
+}
+
+std::string shard_journal_path(const std::string& dir, std::size_t shard,
+                               std::size_t shard_count) {
+  return dir + "/shard_" + std::to_string(shard) + "_of_" +
+         std::to_string(shard_count) + ".journal";
+}
+
+std::string shard_lease_path(const std::string& dir, std::size_t shard,
+                             std::size_t shard_count) {
+  return dir + "/shard_" + std::to_string(shard) + "_of_" +
+         std::to_string(shard_count) + ".lease";
+}
+
+// ---- ShardLease ----------------------------------------------------------
+
+ShardLease::ShardLease(std::string path, std::string worker_id,
+                       std::uint64_t ttl_ms, std::uint64_t heartbeat_ms,
+                       bool adopted)
+    : path_(std::move(path)),
+      worker_id_(std::move(worker_id)),
+      adopted_(adopted) {
+  std::uint64_t hb = heartbeat_ms != 0 ? heartbeat_ms : ttl_ms / 4;
+  if (hb == 0) hb = 1;
+  beat_ = std::thread([this, hb] { beat_loop(hb); });
+}
+
+ShardLease::~ShardLease() { release(); }
+
+void ShardLease::beat_loop(std::uint64_t heartbeat_ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lk, std::chrono::milliseconds(heartbeat_ms),
+                     [this] { return stop_; })) {
+      break;
+    }
+    lk.unlock();
+    // Ownership probe before the refresh: if the file no longer names this
+    // worker (adopted away, or released by an adopter that finished), stop
+    // beating — refreshing someone else's lease would keep a shard we no
+    // longer own looking alive.
+    if (read_lease_owner(path_) != worker_id_) {
+      lost_.store(true, std::memory_order_release);
+      lk.lock();
+      break;
+    }
+    ::utimensat(AT_FDCWD, path_.c_str(), nullptr, 0);
+    lk.lock();
+  }
+}
+
+void ShardLease::release() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!stop_) {
+      stop_ = true;
+      cv_.notify_all();
+    }
+  }
+  if (beat_.joinable()) beat_.join();
+  if (!released_) {
+    released_ = true;
+    // A lost lease belongs to its adopter now; only unlink our own.
+    if (!lost() && read_lease_owner(path_) == worker_id_) {
+      ::unlink(path_.c_str());
+    }
+  }
+}
+
+std::unique_ptr<ShardLease> claim_shard_lease(const std::string& path,
+                                              const std::string& worker_id,
+                                              std::uint64_t lease_ttl_ms,
+                                              std::uint64_t heartbeat_ms) {
+  if (worker_id.empty() || worker_id.find('/') != std::string::npos) {
+    throw SimError(SimError::Kind::kBadConfig,
+                   "shard lease '" + path + "': worker id '" + worker_id +
+                       "' must be non-empty and slash-free");
+  }
+  if (lease_ttl_ms == 0) {
+    throw SimError(SimError::Kind::kBadConfig,
+                   "shard lease '" + path + "': lease TTL must be > 0");
+  }
+
+  // Fresh claim: O_EXCL picks exactly one winner among racing creators.
+  if (create_lease_file(path, worker_id)) {
+    return std::unique_ptr<ShardLease>(new ShardLease(
+        path, worker_id, lease_ttl_ms, heartbeat_ms, /*adopted=*/false));
+  }
+
+  // Lease exists. Alive (heartbeat within TTL) → conflict, transient: the
+  // owner is working the shard, claim again later or claim another shard.
+  std::uint64_t mtime = 0;
+  if (!lease_mtime_ms(path, &mtime)) {
+    throw_conflict(path, "vanished mid-claim (owner released or was adopted)");
+  }
+  const std::uint64_t now = wall_now_ms();
+  if (now < mtime + lease_ttl_ms) {
+    throw_conflict(path, "held by live worker '" + read_lease_owner(path) +
+                             "' (heartbeat " +
+                             std::to_string(now > mtime ? now - mtime : 0) +
+                             " ms ago, TTL " + std::to_string(lease_ttl_ms) +
+                             " ms)");
+  }
+
+  // Stale: the owner stopped heartbeating for a full TTL — dead worker.
+  // Steal by rename: the source vanishes for everyone else, so exactly one
+  // adopter proceeds past this line for a given lease incarnation.
+  const std::string tomb = path + ".adopt-" + worker_id;
+  if (::rename(path.c_str(), tomb.c_str()) != 0) {
+    throw_conflict(path, "stale, but another worker adopted it first");
+  }
+  ::unlink(tomb.c_str());
+  // Re-claim through the same O_EXCL gate; a racing *fresh* claimer that
+  // saw the path empty after our rename may legitimately beat us here.
+  if (!create_lease_file(path, worker_id)) {
+    throw_conflict(path, "stale lease stolen, but a new claimer re-created "
+                         "it first");
+  }
+  return std::unique_ptr<ShardLease>(new ShardLease(
+      path, worker_id, lease_ttl_ms, heartbeat_ms, /*adopted=*/true));
+}
+
+// ---- shard completion probe ----------------------------------------------
+
+bool shard_journal_complete(const std::string& path, std::size_t runs) {
+  if (runs == 0) return true;  // an empty shard has nothing to record
+  JournalContents contents;
+  try {
+    contents = read_journal(path);
+  } catch (const SimError&) {
+    return false;  // missing, torn-header or corrupt: not complete
+  }
+  if (contents.header.version != JournalHeader::kVersion) return false;
+  std::vector<bool> done(runs, false);
+  std::size_t have = 0;
+  for (const JournalRecord& rec : contents.records) {
+    if (rec.index < runs && !done[rec.index]) {
+      done[rec.index] = true;
+      ++have;
+    }
+  }
+  return have == runs;
+}
+
+// ---- worker loop ----------------------------------------------------------
+
+ShardProgress run_sharded_campaign(const FaultCampaign::RunFn& fn,
+                                   std::uint64_t base_seed,
+                                   std::size_t total_runs,
+                                   const ShardOptions& shard,
+                                   const CampaignOptions& opts) {
+  if (shard.shard_count == 0 || shard.shard_index >= shard.shard_count) {
+    throw SimError(SimError::Kind::kBadConfig,
+                   "run_sharded_campaign: worker index " +
+                       std::to_string(shard.shard_index) +
+                       " out of range for " +
+                       std::to_string(shard.shard_count) + " shards");
+  }
+  if (shard.dir.empty()) {
+    throw SimError(SimError::Kind::kBadConfig,
+                   "run_sharded_campaign: shard directory must be set");
+  }
+  std::filesystem::create_directories(shard.dir);
+  const std::string worker_id =
+      !shard.worker_id.empty()
+          ? shard.worker_id
+          : "w" + std::to_string(shard.shard_index) + ".pid" +
+                std::to_string(static_cast<long>(::getpid()));
+
+  ShardProgress prog;
+  const auto started = std::chrono::steady_clock::now();
+  for (;;) {
+    bool all_complete = true;
+    bool progressed = false;
+    for (std::size_t k = 0; k < shard.shard_count; ++k) {
+      // Start at our own shard and roam upward: a fleet spreads across the
+      // shards instead of stampeding the same lease.
+      const std::size_t i = (shard.shard_index + k) % shard.shard_count;
+      const ShardRange range = shard_range(i, shard.shard_count, total_runs);
+      if (range.empty()) continue;
+      const std::string jpath =
+          shard_journal_path(shard.dir, i, shard.shard_count);
+      if (shard_journal_complete(jpath, range.size())) continue;
+      all_complete = false;
+
+      std::unique_ptr<ShardLease> lease;
+      try {
+        lease = claim_shard_lease(
+            shard_lease_path(shard.dir, i, shard.shard_count), worker_id,
+            shard.lease_ttl_ms, shard.heartbeat_ms);
+      } catch (const SimError& e) {
+        if (e.kind() == SimError::Kind::kLeaseConflict) {
+          // Transient by contract: a live peer owns the shard. Our outer
+          // pass-and-poll loop is the backoff.
+          ++prog.lease_conflicts;
+          continue;
+        }
+        throw;
+      }
+
+      CampaignOptions co = opts;
+      co.journal_path = jpath;
+      co.resume = true;  // adoption = resuming the dead worker's journal
+      co.shard_index = i;
+      co.shard_count = shard.shard_count;
+      co.shard_begin = range.begin;
+      co.total_runs = total_runs;
+      co.worker_id = worker_id;
+
+      std::atomic<std::size_t> executed{0};
+      ShardLease* held = lease.get();
+      const FaultCampaign::RunFn wrapped =
+          [&fn, &executed, held](std::uint64_t seed) {
+            if (held->lost()) {
+              throw LeaseLostError(
+                  "shard lease '" + held->path() + "' was adopted away from '" +
+                  held->worker_id() +
+                  "' (heartbeat stalled past the TTL); aborting the shard — "
+                  "its adopter owns the journal now");
+            }
+            executed.fetch_add(1, std::memory_order_relaxed);
+            return fn(seed);
+          };
+
+      bool completed_shard = true;
+      try {
+        FaultCampaign campaign(wrapped);
+        campaign.run(base_seed + range.begin, range.size(), co);
+      } catch (const LeaseLostError&) {
+        completed_shard = false;
+        ++prog.shards_lost;
+      } catch (const SimError& e) {
+        if (e.kind() != SimError::Kind::kJournalCorrupt) throw;
+        // The dead worker's journal is damaged beyond the torn-tail
+        // tolerance (torn header, bit rot). We hold the exclusive lease and
+        // every run is a pure function of its seed, so re-running the whole
+        // shard reproduces bit-identical records: delete and start fresh.
+        std::remove(jpath.c_str());
+        FaultCampaign healed(wrapped);
+        healed.run(base_seed + range.begin, range.size(), co);
+      }
+      prog.runs_executed += executed.load(std::memory_order_relaxed);
+      if (completed_shard) {
+        ++prog.shards_run;
+        if (lease->adopted()) ++prog.shards_adopted;
+        progressed = true;
+      }
+      lease->release();
+    }
+
+    if (all_complete) {
+      prog.campaign_complete = true;
+      break;
+    }
+    if (!progressed) {
+      // Every remaining shard is leased by a live peer (or was lost to an
+      // adopter). Wait for the fleet — or for a peer's lease to go stale.
+      if (shard.max_wait_ms != 0) {
+        const auto waited =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        if (waited >= 0 &&
+            static_cast<std::uint64_t>(waited) >= shard.max_wait_ms) {
+          break;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(shard.poll_ms));
+    }
+  }
+  return prog;
+}
+
+// ---- merge ----------------------------------------------------------------
+
+MergedCampaign merge_journals(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    throw_merge_bad("no shard journals given");
+  }
+
+  MergedCampaign out;
+  std::vector<JournalContents> shards;
+  shards.reserve(paths.size());
+  for (const std::string& p : paths) shards.push_back(read_journal(p));
+
+  // Identity checks. Every journal must be the current format (read_journal
+  // already rejected unknown futures; v1 parses but cannot merge), and all
+  // must agree on the campaign: digest, tag, base seed, total runs, layout.
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const JournalHeader& h = shards[s].header;
+    if (h.version != JournalHeader::kVersion) {
+      throw SimError(
+          SimError::Kind::kShardVersionMismatch,
+          "campaign merge: shard journal '" + paths[s] + "' has format "
+              "version " + std::to_string(h.version) +
+              " but the merge requires version " +
+              std::to_string(JournalHeader::kVersion) +
+              " — journals from different releases refuse to mix");
+    }
+  }
+  const JournalHeader& first = shards[0].header;
+  out.scenario_digest = first.scenario_digest;
+  out.tag = first.tag;
+  out.shard_count = static_cast<std::size_t>(first.shard_count);
+  out.runs = static_cast<std::size_t>(first.total_runs);
+  out.base_seed = first.base_seed - first.shard_begin;
+
+  std::vector<bool> shard_seen(out.shard_count, false);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const JournalHeader& h = shards[s].header;
+    if (h.scenario_digest != out.scenario_digest) {
+      throw_merge_bad("shard journal '" + paths[s] +
+                      "' has scenario digest " +
+                      std::to_string(h.scenario_digest) + " but '" + paths[0] +
+                      "' has " + std::to_string(out.scenario_digest) +
+                      " — different fault models do not merge");
+    }
+    if (h.tag != out.tag) {
+      throw_merge_bad("shard journal '" + paths[s] + "' has tag '" + h.tag +
+                      "' but '" + paths[0] + "' has '" + out.tag + "'");
+    }
+    if (h.shard_count != out.shard_count || h.total_runs != out.runs) {
+      throw_merge_bad("shard journal '" + paths[s] + "' is shard " +
+                      std::to_string(h.shard_index) + "/" +
+                      std::to_string(h.shard_count) + " of " +
+                      std::to_string(h.total_runs) + " runs but '" + paths[0] +
+                      "' declares " + std::to_string(out.shard_count) +
+                      " shards of " + std::to_string(out.runs) +
+                      " runs — mixed shard layouts do not merge");
+    }
+    if (h.base_seed - h.shard_begin != out.base_seed) {
+      throw_merge_bad("shard journal '" + paths[s] +
+                      "' implies campaign base seed " +
+                      std::to_string(h.base_seed - h.shard_begin) + " but '" +
+                      paths[0] + "' implies " + std::to_string(out.base_seed));
+    }
+    if (h.shard_index >= h.shard_count) {
+      throw_merge_bad("shard journal '" + paths[s] + "' claims shard " +
+                      std::to_string(h.shard_index) + " of only " +
+                      std::to_string(h.shard_count));
+    }
+    const ShardRange want = shard_range(
+        static_cast<std::size_t>(h.shard_index), out.shard_count, out.runs);
+    if (h.shard_begin != want.begin || h.runs != want.size()) {
+      throw_merge_bad("shard journal '" + paths[s] + "' covers [" +
+                      std::to_string(h.shard_begin) + ", +" +
+                      std::to_string(h.runs) + ") but shard " +
+                      std::to_string(h.shard_index) + " of " +
+                      std::to_string(out.shard_count) + " canonically covers [" +
+                      std::to_string(want.begin) + ", +" +
+                      std::to_string(want.size()) + ")");
+    }
+    if (shard_seen[static_cast<std::size_t>(h.shard_index)]) {
+      throw_merge_incomplete("shard " + std::to_string(h.shard_index) +
+                             " appears twice ('" + paths[s] +
+                             "') — ambiguous which journal to trust");
+    }
+    shard_seen[static_cast<std::size_t>(h.shard_index)] = true;
+  }
+  for (std::size_t i = 0; i < out.shard_count; ++i) {
+    if (!shard_seen[i] && !shard_range(i, out.shard_count, out.runs).empty()) {
+      throw_merge_incomplete("no journal for shard " + std::to_string(i) +
+                             " of " + std::to_string(out.shard_count) +
+                             " — a partial fleet merge would silently bias "
+                             "every campaign statistic");
+    }
+  }
+
+  // Fold records into global slots. Duplicate indices within a journal are
+  // benign (a lease-TTL violation appends bit-identical records — runs are
+  // deterministic); the last one wins, like journal resume.
+  out.results.resize(out.runs);
+  std::vector<bool> done(out.runs, false);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const JournalHeader& h = shards[s].header;
+    for (JournalRecord& rec : shards[s].records) {
+      if (rec.index >= h.runs) {
+        throw SimError(SimError::Kind::kJournalCorrupt,
+                       "campaign merge: shard journal '" + paths[s] +
+                           "': record index " + std::to_string(rec.index) +
+                           " out of range (shard has " +
+                           std::to_string(h.runs) + " runs)");
+      }
+      const std::size_t global =
+          static_cast<std::size_t>(h.shard_begin) + rec.index;
+      out.results[global] = std::move(rec.result);
+      done[global] = true;
+    }
+  }
+  std::size_t missing = 0;
+  std::size_t first_missing = 0;
+  for (std::size_t i = 0; i < out.runs; ++i) {
+    if (!done[i]) {
+      if (missing == 0) first_missing = i;
+      ++missing;
+    }
+  }
+  if (missing > 0) {
+    throw_merge_incomplete(
+        std::to_string(missing) + " of " + std::to_string(out.runs) +
+        " runs have no record (first missing global index " +
+        std::to_string(first_missing) +
+        ") — finish the campaign (workers re-claim incomplete shards) "
+        "before merging");
+  }
+  return out;
+}
+
+MergedCampaign merge_shard_dir(const std::string& dir) {
+  std::vector<std::pair<std::size_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    std::size_t shard = 0, count = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "shard_%zu_of_%zu.journal%n", &shard,
+                    &count, &consumed) == 2 &&
+        static_cast<std::size_t>(consumed) == name.size()) {
+      found.emplace_back(shard, entry.path().string());
+    }
+  }
+  if (ec) {
+    throw_merge_bad("cannot scan shard directory '" + dir +
+                    "': " + ec.message());
+  }
+  if (found.empty()) {
+    throw_merge_incomplete("no shard journals (shard_<i>_of_<N>.journal) in '" +
+                           dir + "'");
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [shard, path] : found) paths.push_back(std::move(path));
+  return merge_journals(paths);
+}
+
+}  // namespace sctrace

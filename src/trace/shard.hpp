@@ -1,0 +1,221 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/campaign.hpp"
+#include "trace/journal.hpp"
+
+namespace sctrace {
+
+/// Sharded fleet-scale campaigns over a shared journal directory.
+///
+/// One campaign of `total_runs` seeds is split into `shard_count` contiguous
+/// chunks; N independent *worker processes* — different PIDs, potentially
+/// different machines on a shared filesystem — each claim disjoint shards,
+/// run them through the ordinary FaultCampaign journal machinery, and a
+/// final merge step folds the shard journals back into the byte-identical
+/// single-process report()/write_csv() output.
+///
+/// Coordination is filesystem-only, built from two atomic primitives:
+///
+///   - claim:  open(lease, O_CREAT | O_EXCL) — exactly one creator wins;
+///   - adopt:  rename(lease, lease.adopt-<worker>) — rename has exactly one
+///     winner because the source vanishes for everyone else, so a stale
+///     lease (heartbeat mtime older than the TTL: its worker is dead) is
+///     stolen by at most one survivor, which then re-claims via O_EXCL.
+///
+/// A held lease is heartbeaten by refreshing its mtime from a background
+/// thread. The TTL contract: a worker whose heartbeat stays fresher than
+/// `lease_ttl_ms` owns its shard exclusively; a worker paused for longer
+/// (SIGSTOP, VM freeze) may be adopted away and must treat its shard as
+/// lost — the heartbeat thread detects the takeover (the lease file no
+/// longer names this worker) and the next run raises LeaseLostError, which
+/// aborts the shard instead of recording anything further.
+///
+/// Determinism makes adoption safe: every run is a pure function of its
+/// seed (DESIGN.md §7), and seeds are derived as base_seed + global index,
+/// so the seeds a survivor re-runs produce bit-identical records to the
+/// ones the dead worker would have written. Adoption resumes the dead
+/// worker's journal and executes only the missing indices — the merged
+/// output cannot tell who ran what.
+
+/// Half-open global run-index range [begin, end) of one shard.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+/// Canonical contiguous partition of [0, total_runs) into shard_count
+/// chunks: the first total_runs % shard_count shards get one extra run.
+/// Every participant (workers and merge) must agree on this layout; it is
+/// pinned per shard in the v2 journal header and re-derived on merge.
+ShardRange shard_range(std::size_t shard, std::size_t shard_count,
+                       std::size_t total_runs);
+
+/// Journal / lease filenames inside a shard directory. The names carry the
+/// shard count so a re-partitioned campaign (same dir, different N) cannot
+/// silently collide with the old layout's files.
+std::string shard_journal_path(const std::string& dir, std::size_t shard,
+                               std::size_t shard_count);
+std::string shard_lease_path(const std::string& dir, std::size_t shard,
+                             std::size_t shard_count);
+
+/// Thrown between runs when the heartbeat observed this worker's lease
+/// taken over (the worker was paused past the TTL and a survivor adopted
+/// the shard). Deliberately NOT a minisc::SimError: the campaign machinery
+/// records SimErrors as failed-run data points, but a lost lease must abort
+/// the shard — the adopter owns those records now.
+struct LeaseLostError : std::runtime_error {
+  explicit LeaseLostError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One held shard lease: created by claim_shard_lease, heartbeaten by a
+/// background thread, released (file unlinked) on destruction — unless the
+/// lease was observed lost, in which case the file belongs to the adopter
+/// and is left alone.
+class ShardLease {
+ public:
+  ~ShardLease();
+  ShardLease(const ShardLease&) = delete;
+  ShardLease& operator=(const ShardLease&) = delete;
+
+  const std::string& path() const { return path_; }
+  const std::string& worker_id() const { return worker_id_; }
+  /// True when this claim stole a stale lease from a dead worker.
+  bool adopted() const { return adopted_; }
+  /// True once the heartbeat saw another worker's id in the lease file.
+  bool lost() const { return lost_.load(std::memory_order_acquire); }
+
+  /// Stops the heartbeat and unlinks the lease (no-op if lost or released).
+  void release();
+
+ private:
+  friend std::unique_ptr<ShardLease> claim_shard_lease(
+      const std::string& path, const std::string& worker_id,
+      std::uint64_t lease_ttl_ms, std::uint64_t heartbeat_ms);
+
+  ShardLease(std::string path, std::string worker_id, std::uint64_t ttl_ms,
+             std::uint64_t heartbeat_ms, bool adopted);
+  void beat_loop(std::uint64_t heartbeat_ms);
+
+  std::string path_;
+  std::string worker_id_;
+  bool adopted_ = false;
+  std::atomic<bool> lost_{false};
+  bool released_ = false;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread beat_;
+};
+
+/// Claims the lease at `path` for `worker_id`: a fresh O_EXCL create if no
+/// lease exists, an adopt (rename-steal + re-create) if one exists but its
+/// heartbeat mtime is older than `lease_ttl_ms`. On success returns the
+/// held lease, heartbeating every `heartbeat_ms` (0 = ttl / 4).
+///
+/// Throws minisc::SimError(kLeaseConflict) — classified *transient*
+/// (minisc::is_transient), so retry/backoff loops handle it like any other
+/// host-side hiccup — when the lease is held by a live worker or another
+/// claimer won the race; and kBadConfig for empty worker ids or I/O errors.
+std::unique_ptr<ShardLease> claim_shard_lease(const std::string& path,
+                                              const std::string& worker_id,
+                                              std::uint64_t lease_ttl_ms,
+                                              std::uint64_t heartbeat_ms = 0);
+
+/// True when the journal at `path` exists, parses, and holds a record for
+/// every one of the `runs` shard-local indices. Never throws: a missing,
+/// torn or corrupt journal is simply "not complete" (the claimer heals it).
+bool shard_journal_complete(const std::string& path, std::size_t runs);
+
+/// How one worker should participate in a sharded campaign.
+struct ShardOptions {
+  /// Shared journal directory (created if missing). All workers of one
+  /// campaign must point at the same directory.
+  std::string dir;
+  /// This worker's identity: its *preferred first shard* (workers start
+  /// claiming at their own index and roam upward, so a fleet spreads out
+  /// instead of stampeding shard 0) — "--shard i/N" on the benches.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// Unique id for lease files; "" derives "w<shard_index>.pid<pid>".
+  std::string worker_id;
+  /// Heartbeat staleness threshold for adoption. Must comfortably exceed
+  /// the heartbeat interval plus the worst scheduler pause a live worker
+  /// can suffer; below ~4 heartbeats invites spurious adoption.
+  std::uint64_t lease_ttl_ms = 10000;
+  std::uint64_t heartbeat_ms = 0;  ///< 0 = lease_ttl_ms / 4
+  /// Delay between claim passes once every remaining shard is leased by a
+  /// live peer (the waiting-for-the-fleet idle loop).
+  std::uint64_t poll_ms = 200;
+  /// Give up waiting for other workers' shards after this long (0 = wait
+  /// until the whole campaign is complete — the CI survivor mode).
+  std::uint64_t max_wait_ms = 0;
+};
+
+/// What one worker did. campaign_complete is the fleet-level statement:
+/// every shard's journal held all its records when this worker exited.
+struct ShardProgress {
+  std::size_t shards_run = 0;      ///< shards this worker completed
+  std::size_t shards_adopted = 0;  ///< of those, stolen from dead workers
+  std::size_t runs_executed = 0;   ///< seeds actually simulated here
+  std::size_t lease_conflicts = 0; ///< claims lost to live peers (transient)
+  std::size_t shards_lost = 0;     ///< own leases adopted away mid-shard
+  bool campaign_complete = false;
+};
+
+/// Runs one worker of a sharded campaign: claims shards (preferred first,
+/// then roaming), executes each as a journaled+resumed FaultCampaign over
+/// its seed range, adopts stale leases of dead workers, and keeps polling
+/// until the whole campaign is complete (or max_wait_ms expires). The
+/// CampaignOptions journal fields are overwritten per shard; threads,
+/// retry, budgets, digest and tag apply as usual.
+ShardProgress run_sharded_campaign(const FaultCampaign::RunFn& fn,
+                                   std::uint64_t base_seed,
+                                   std::size_t total_runs,
+                                   const ShardOptions& shard,
+                                   const CampaignOptions& opts = {});
+
+/// A merged campaign: the global identity plus every run in global order.
+/// Feed `results` to FaultCampaign's results constructor for report() /
+/// write_csv() byte-identical to the uninterrupted single-process run.
+struct MergedCampaign {
+  std::uint64_t base_seed = 0;  ///< campaign-wide (shard 0's first seed)
+  std::size_t runs = 0;         ///< total across all shards
+  std::uint64_t scenario_digest = 0;
+  std::string tag;
+  std::size_t shard_count = 0;
+  std::vector<CampaignRunResult> results;
+};
+
+/// Folds shard journals into one campaign. Refuses, with a structured
+/// minisc::SimError:
+///   - kShardVersionMismatch: any journal whose format version differs from
+///     the current one (v1 journals are readable but not mergeable), naming
+///     both versions;
+///   - kBadConfig: mismatched scenario digests, tags, base seeds, total run
+///     counts or shard layouts across the journals, or a journal whose
+///     shard range disagrees with the canonical shard_range partition;
+///   - kMergeIncomplete: missing shard journals, duplicate shard indices,
+///     or a shard journal missing run records — merging a partial fleet
+///     would silently bias every statistic the campaign exists to measure.
+MergedCampaign merge_journals(const std::vector<std::string>& paths);
+
+/// merge_journals over the canonical shard journal filenames found in
+/// `dir`. The shard count is taken from the first journal's header, and
+/// every shard 0..count-1 must be present.
+MergedCampaign merge_shard_dir(const std::string& dir);
+
+}  // namespace sctrace

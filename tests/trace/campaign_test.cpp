@@ -258,6 +258,30 @@ TEST(CampaignSweep, RunsEveryCellAndExposesTheGrid) {
   EXPECT_NE(csv.find("b,y,3,0,12,12,1,"), std::string::npos);
 }
 
+TEST(CampaignSweep, CollapsedEssCellPropagatesAWarningIntoTheGrid) {
+  // One cell importance-samples with a dominating weight (Kish ESS ~ 1 of
+  // 20 runs, far below the 10% floor); the grid print must call out exactly
+  // that cell so a sweep cannot hide a collapsed estimate in its table.
+  sctrace::CampaignSweep sweep(
+      {"a", "b"}, {"x", "y"},
+      [](const std::string& mapping, const std::string& scenario) {
+        const bool skew = (mapping == "b" && scenario == "y");
+        return [skew](std::uint64_t seed) {
+          CampaignRunResult r;
+          r.deadline_total = 4;
+          if (skew) r.log_weight = (seed == 0) ? 10.0 : 0.0;
+          return r;
+        };
+      });
+  sweep.run(0, 20);
+  std::ostringstream grid;
+  sweep.print(grid);
+  EXPECT_NE(grid.str().find("WARNING: cell b/y: ESS"), std::string::npos)
+      << grid.str();
+  // The unweighted cells stay quiet.
+  EXPECT_EQ(grid.str().find("cell a/"), std::string::npos) << grid.str();
+}
+
 TEST(Campaign, CollapsedEssPrintsAWarning) {
   // One run dominating the weights collapses the Kish ESS: 20 runs, one
   // with weight e^10 -> ESS ~ 1 < 10% of 20. The report must say so.

@@ -104,11 +104,17 @@ TEST(Journal, RoundTripsEveryFieldBitExactly) {
     for (std::size_t i = 0; i < 3; ++i) w.append(i, synth_run(17 + i));
   }
   const JournalContents got = read_journal(path);
-  EXPECT_EQ(got.header.version, 1u);
+  EXPECT_EQ(got.header.version, 2u);
   EXPECT_EQ(got.header.base_seed, 17u);
   EXPECT_EQ(got.header.runs, 3u);
   EXPECT_EQ(got.header.scenario_digest, 0xfeedfacecafebeefull);
   EXPECT_EQ(got.header.tag, "unit/roundtrip");
+  // An unsharded campaign carries the degenerate shard-0-of-1 identity.
+  EXPECT_EQ(got.header.shard_index, 0u);
+  EXPECT_EQ(got.header.shard_count, 1u);
+  EXPECT_EQ(got.header.shard_begin, 0u);
+  EXPECT_EQ(got.header.total_runs, 3u);
+  EXPECT_EQ(got.header.worker_id, "");
   EXPECT_FALSE(got.truncated_tail);
   EXPECT_EQ(got.valid_bytes, file_size(path));
   ASSERT_EQ(got.records.size(), 3u);
@@ -231,6 +237,116 @@ TEST(Journal, MissingFileIsABadConfigError) {
   } catch (const SimError& e) {
     EXPECT_EQ(e.kind(), SimError::Kind::kBadConfig);
   }
+}
+
+TEST(Journal, TornHeaderIsCorruptNotATolerableTail) {
+  // A writer that dies inside its very first write leaves bytes but no
+  // intact header. Unlike a torn run record (tolerated, that seed re-runs),
+  // nothing identifies the campaign: structured corruption, clear message.
+  const std::string path = temp_journal("torn_header");
+  {
+    JournalWriter w(path, JournalHeader{}, 1);
+  }
+  std::filesystem::resize_file(path, 7);  // mid-header crash
+  try {
+    read_journal(path);
+    FAIL() << "expected SimError(kJournalCorrupt)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimError::Kind::kJournalCorrupt);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("header record is torn or truncated"),
+              std::string::npos) << what;
+    EXPECT_NE(what.find("delete it to start fresh"), std::string::npos);
+    EXPECT_NE(what.find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+// ---- format versioning ----------------------------------------------------
+
+/// Re-implements the journal framing (FNV-1a over type+len+payload) so the
+/// tests can fabricate journals from *other* format versions, which the
+/// current writer by design cannot produce.
+std::string frame_record(char type, const std::string& payload) {
+  std::string out;
+  out.push_back(type);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((payload.size() >> (8 * i)) & 0xff));
+  }
+  out += payload;
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : out) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((h >> (8 * i)) & 0xff));
+  }
+  return out;
+}
+
+std::string v1_header_payload(std::uint64_t base_seed, std::uint64_t runs,
+                              std::uint64_t digest, const std::string& tag) {
+  std::string p;
+  auto u32 = [&p](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      p.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  auto u64 = [&p](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      p.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  u32(1);  // version 1: no shard identity block
+  u64(base_seed);
+  u64(runs);
+  u64(digest);
+  u32(static_cast<std::uint32_t>(tag.size()));
+  p += tag;
+  return p;
+}
+
+TEST(Journal, V1JournalReadsWithDegenerateShardIdentity) {
+  // Read-only compat: a pre-shard (v1) journal parses, and its header is
+  // normalised to the whole-campaign identity (shard 0 of 1).
+  const std::string path = temp_journal("v1_compat");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << frame_record('H', v1_header_payload(40, 12, 777, "old-release"));
+  }
+  const JournalContents got = read_journal(path);
+  EXPECT_EQ(got.header.version, 1u);
+  EXPECT_EQ(got.header.base_seed, 40u);
+  EXPECT_EQ(got.header.runs, 12u);
+  EXPECT_EQ(got.header.scenario_digest, 777u);
+  EXPECT_EQ(got.header.tag, "old-release");
+  EXPECT_EQ(got.header.shard_index, 0u);
+  EXPECT_EQ(got.header.shard_count, 1u);
+  EXPECT_EQ(got.header.shard_begin, 0u);
+  EXPECT_EQ(got.header.total_runs, 12u);
+  EXPECT_EQ(got.header.worker_id, "");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, UnknownFutureVersionIsRefusedNamingBothVersions) {
+  const std::string path = temp_journal("v99");
+  {
+    std::string p = v1_header_payload(0, 1, 0, "");
+    p[0] = 99;  // version field is the first u32 of the payload
+    std::ofstream out(path, std::ios::binary);
+    out << frame_record('H', p);
+  }
+  try {
+    read_journal(path);
+    FAIL() << "expected SimError(kShardVersionMismatch)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimError::Kind::kShardVersionMismatch);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version 99"), std::string::npos) << what;
+    EXPECT_NE(what.find("versions 1-2"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
 }
 
 // ---- resume equivalence ---------------------------------------------------
@@ -382,6 +498,34 @@ TEST(JournalResume, HeaderMismatchIsRefused) {
   std::remove(path.c_str());
 }
 
+TEST(JournalResume, V1JournalIsReadOnlyResumeRefusedNamingBothVersions) {
+  // An otherwise perfectly matching v1 journal (same base seed, run count,
+  // digest, tag) must refuse to resume: appending v2 records under a v1
+  // header would leave a file no single version describes.
+  const std::string path = temp_journal("v1_resume");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << frame_record('H', v1_header_payload(40, 12, 777, "old-release"));
+  }
+  CampaignOptions opts;
+  opts.journal_path = path;
+  opts.journal_tag = "old-release";
+  opts.scenario_digest = 777;
+  opts.resume = true;
+  FaultCampaign c(synth_fn());
+  try {
+    c.run(40, 12, opts);
+    FAIL() << "expected SimError(kShardVersionMismatch)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimError::Kind::kShardVersionMismatch);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("format version 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("appends version 2"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(JournalResume, MissingJournalStartsFresh) {
   const std::string path = temp_journal("fresh");
   std::remove(path.c_str());
@@ -529,10 +673,14 @@ TEST(CampaignRetry, ExhaustedTransientRetriesDegradeToFailedRun) {
 TEST(CampaignRetry, ErrorClassificationMatchesContract) {
   using Kind = SimError::Kind;
   EXPECT_TRUE(minisc::is_transient(Kind::kWallClockBudget));
+  // A lease held by a live peer is a retryable host-side condition, exactly
+  // like a wall-clock hiccup: claim again later or claim another shard.
+  EXPECT_TRUE(minisc::is_transient(Kind::kLeaseConflict));
   for (const Kind k : {Kind::kDeltaStorm, Kind::kDispatchStorm,
                        Kind::kSimTimeBudget, Kind::kNoSimulator,
                        Kind::kNoProcessContext, Kind::kBadConfig,
-                       Kind::kJournalCorrupt}) {
+                       Kind::kJournalCorrupt, Kind::kShardVersionMismatch,
+                       Kind::kMergeIncomplete}) {
     EXPECT_FALSE(minisc::is_transient(k)) << minisc::to_string(k);
   }
 }

@@ -1,0 +1,524 @@
+// Sharded fleet-scale campaigns: lease-based work claiming, crash-tolerant
+// adoption and the byte-identical merge.
+//
+// The load-bearing claims pinned here:
+//   - shard_range tiles the campaign exactly: contiguous, disjoint, total;
+//   - the lease protocol picks exactly one winner: a double claim raises a
+//     *transient* kLeaseConflict, a fresh lease is never adoptable, a stale
+//     one (heartbeat mtime past the TTL) is adopted by exactly one claimer;
+//   - a worker whose lease was adopted away observes lost() and leaves the
+//     file to the adopter;
+//   - adoption of a partially-journaled shard resumes the dead worker's
+//     journal and executes only the missing seeds;
+//   - two workers split a campaign with zero overlap, and the merged output
+//     is byte-identical to the uninterrupted single-process run for
+//     threads in {seq, 1, 8};
+//   - merge refuses missing shards, missing records, mixed fault-model
+//     digests and old format versions with structured SimErrors.
+
+#include "trace/shard.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernel/error.hpp"
+#include "trace/campaign.hpp"
+#include "trace/journal.hpp"
+
+namespace sctrace {
+namespace {
+
+using minisc::SimError;
+using minisc::Time;
+
+std::filesystem::path temp_dir(const std::string& name) {
+  return std::filesystem::temp_directory_path() /
+         ("scperf_shard_" + name + "_" + std::to_string(::getpid()));
+}
+
+/// RAII scratch directory: removed at both ends so a crashed previous run
+/// cannot leak state into this one (ctest runs suites in parallel).
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name) : path(temp_dir(name)) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path); }
+  std::filesystem::path path;
+  std::string str() const { return path.string(); }
+};
+
+/// Deterministic synthetic run, same spirit as the journal tests: every
+/// field a pure function of the seed, doubles not decimal-representable.
+CampaignRunResult synth_run(std::uint64_t seed) {
+  CampaignRunResult r;
+  r.seed = seed;
+  r.makespan = Time::ns(1000 + 37 * seed);
+  r.deadline_total = 16;
+  r.deadline_missed = seed % 4;
+  r.recovery_latencies_ns = {100.0 + 0.3 * static_cast<double>(seed)};
+  r.faults_injected = seed % 3;
+  r.log_weight = 0.25 * static_cast<double>(seed % 5) - 0.7;
+  r.energy_pj = 1234.5 + 0.1 * static_cast<double>(seed);
+  r.fault_energy_pj = 12.25 + static_cast<double>(seed);
+  r.value_hash = 0x9e3779b97f4a7c15ull * (seed + 1);
+  return r;
+}
+
+FaultCampaign::RunFn synth_fn() {
+  return [](std::uint64_t seed) { return synth_run(seed); };
+}
+
+std::string csv_of(const FaultCampaign& c) {
+  std::ostringstream os;
+  c.write_csv(os);
+  return os.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+/// Backdates a file's mtime far enough that any sane TTL sees it stale.
+void make_stale(const std::string& path) {
+  std::filesystem::last_write_time(
+      path, std::filesystem::last_write_time(path) - std::chrono::hours(1));
+}
+
+// ---- shard_range ----------------------------------------------------------
+
+TEST(ShardRange, TilesTheCampaignExactly) {
+  for (const std::size_t count : {1u, 2u, 3u, 7u, 16u}) {
+    for (const std::size_t total : {0u, 1u, 5u, 16u, 97u}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        const ShardRange r = shard_range(i, count, total);
+        EXPECT_EQ(r.begin, prev_end) << i << "/" << count << " of " << total;
+        EXPECT_LE(r.begin, r.end);
+        // Remainder spread: sizes differ by at most one, big shards first.
+        EXPECT_GE(r.size(), total / count);
+        EXPECT_LE(r.size(), total / count + 1);
+        prev_end = r.end;
+        covered += r.size();
+      }
+      EXPECT_EQ(prev_end, total);
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(ShardRange, OutOfRangeShardIsRefused) {
+  EXPECT_THROW(shard_range(2, 2, 10), SimError);
+  EXPECT_THROW(shard_range(0, 0, 10), SimError);
+}
+
+// ---- lease protocol -------------------------------------------------------
+
+TEST(ShardLease, FreshClaimWritesTheWorkerIdAndReleaseUnlinks) {
+  ScratchDir dir("fresh");
+  const std::string path = shard_lease_path(dir.str(), 0, 2);
+  auto lease = claim_shard_lease(path, "alice", 10000);
+  EXPECT_FALSE(lease->adopted());
+  EXPECT_FALSE(lease->lost());
+  EXPECT_EQ(read_file(path), "alice");
+  lease->release();
+  EXPECT_FALSE(std::filesystem::exists(path));
+  // The shard is claimable again after a release.
+  auto again = claim_shard_lease(path, "bob", 10000);
+  EXPECT_FALSE(again->adopted());
+  EXPECT_EQ(read_file(path), "bob");
+}
+
+TEST(ShardLease, DoubleClaimIsATransientConflict) {
+  ScratchDir dir("double");
+  const std::string path = shard_lease_path(dir.str(), 0, 2);
+  auto lease = claim_shard_lease(path, "alice", 10000);
+  try {
+    claim_shard_lease(path, "bob", 10000);
+    FAIL() << "expected SimError(kLeaseConflict)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimError::Kind::kLeaseConflict);
+    // Transient by contract: retry loops treat it like any host hiccup.
+    EXPECT_TRUE(minisc::is_transient(e.kind()));
+    EXPECT_NE(std::string(e.what()).find("alice"), std::string::npos)
+        << e.what();
+  }
+  // The conflict left the original claim untouched.
+  EXPECT_EQ(read_file(path), "alice");
+  EXPECT_FALSE(lease->lost());
+}
+
+TEST(ShardLease, FreshLeaseOfADeadlessWorkerIsNotAdoptable) {
+  ScratchDir dir("not_stale");
+  const std::string path = shard_lease_path(dir.str(), 0, 1);
+  // A lease file with a current mtime and no live process behind it is
+  // indistinguishable from a just-started worker: it must NOT be adopted.
+  write_file(path, "maybe-alive");
+  EXPECT_THROW(claim_shard_lease(path, "bob", 10000), SimError);
+  EXPECT_EQ(read_file(path), "maybe-alive");
+}
+
+TEST(ShardLease, StaleLeaseIsAdopted) {
+  ScratchDir dir("stale");
+  const std::string path = shard_lease_path(dir.str(), 0, 1);
+  write_file(path, "dead-worker");
+  make_stale(path);
+  auto lease = claim_shard_lease(path, "survivor", 10000);
+  EXPECT_TRUE(lease->adopted());
+  EXPECT_EQ(read_file(path), "survivor");
+  // No adoption tombstone left behind.
+  for (const auto& e : std::filesystem::directory_iterator(dir.path)) {
+    EXPECT_EQ(e.path().string(), path);
+  }
+}
+
+TEST(ShardLease, TakenOverLeaseIsObservedLostAndLeftToTheAdopter) {
+  ScratchDir dir("takeover");
+  const std::string path = shard_lease_path(dir.str(), 0, 1);
+  // Tight heartbeat so the probe notices quickly.
+  auto lease = claim_shard_lease(path, "victim", 10000, /*heartbeat_ms=*/20);
+  // Simulate the adopter's rename+re-create: the file now names it.
+  write_file(path, "adopter");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!lease->lost() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(lease->lost());
+  lease->release();
+  // A lost lease belongs to the adopter: release must not unlink it.
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_EQ(read_file(path), "adopter");
+}
+
+// ---- worker loop ----------------------------------------------------------
+
+TEST(ShardWorker, SingleWorkerCompletesEveryShardAndMergesByteIdentically) {
+  const std::uint64_t base = 40;
+  const std::size_t total = 13;  // deliberately not divisible by 3
+  FaultCampaign reference(synth_fn());
+  reference.run(base, total);
+  const std::string want_csv = csv_of(reference);
+
+  for (const std::size_t threads :
+       {std::size_t{0}, std::size_t{1}, std::size_t{8}}) {
+    ScratchDir dir("single_t" + std::to_string(threads));
+    ShardOptions so;
+    so.dir = dir.str();
+    so.shard_index = 0;
+    so.shard_count = 3;
+    so.worker_id = "solo";
+    CampaignOptions co;
+    co.threads = threads;
+    const ShardProgress p =
+        run_sharded_campaign(synth_fn(), base, total, so, co);
+    EXPECT_TRUE(p.campaign_complete);
+    EXPECT_EQ(p.shards_run, 3u);
+    EXPECT_EQ(p.shards_adopted, 0u);
+    EXPECT_EQ(p.runs_executed, total);
+
+    const MergedCampaign merged = merge_shard_dir(dir.str());
+    EXPECT_EQ(merged.base_seed, base);
+    EXPECT_EQ(merged.runs, total);
+    EXPECT_EQ(merged.shard_count, 3u);
+    FaultCampaign folded(merged.results);
+    EXPECT_EQ(csv_of(folded), want_csv) << threads << " threads";
+  }
+}
+
+TEST(ShardWorker, AdoptionResumesTheDeadWorkersJournalRunningOnlyMissingSeeds) {
+  ScratchDir dir("adopt");
+  const std::uint64_t base = 40;
+  const std::size_t total = 10;  // 2 shards of 5
+  const ShardRange r1 = shard_range(1, 2, total);
+
+  // The dead worker journaled shard 1's first two runs before dying...
+  JournalHeader h;
+  h.base_seed = base + r1.begin;
+  h.runs = r1.size();
+  h.shard_index = 1;
+  h.shard_count = 2;
+  h.shard_begin = r1.begin;
+  h.total_runs = total;
+  h.worker_id = "dead-worker";
+  {
+    JournalWriter w(shard_journal_path(dir.str(), 1, 2), h, 1);
+    w.append(0, synth_run(base + r1.begin));
+    w.append(1, synth_run(base + r1.begin + 1));
+  }
+  // ...and its lease went stale.
+  const std::string lease = shard_lease_path(dir.str(), 1, 2);
+  write_file(lease, "dead-worker");
+  make_stale(lease);
+
+  std::mutex mu;
+  std::set<std::uint64_t> executed;
+  ShardOptions so;
+  so.dir = dir.str();
+  so.shard_index = 0;
+  so.shard_count = 2;
+  so.worker_id = "survivor";
+  const ShardProgress p = run_sharded_campaign(
+      [&](std::uint64_t seed) {
+        std::unique_lock<std::mutex> lk(mu);
+        EXPECT_TRUE(executed.insert(seed).second) << "seed ran twice";
+        return synth_run(seed);
+      },
+      base, total, so);
+  EXPECT_TRUE(p.campaign_complete);
+  EXPECT_EQ(p.shards_run, 2u);
+  EXPECT_EQ(p.shards_adopted, 1u);
+  // Own shard (5) plus only the 3 seeds missing from the adopted journal.
+  EXPECT_EQ(p.runs_executed, 8u);
+  EXPECT_EQ(executed.count(base + r1.begin), 0u);
+  EXPECT_EQ(executed.count(base + r1.begin + 1), 0u);
+
+  // The merge cannot tell who ran what.
+  FaultCampaign reference(synth_fn());
+  reference.run(base, total);
+  FaultCampaign folded(merge_shard_dir(dir.str()).results);
+  EXPECT_EQ(csv_of(folded), csv_of(reference));
+}
+
+TEST(ShardWorker, CorruptAdoptedJournalIsHealedUnderTheExclusiveLease) {
+  ScratchDir dir("heal");
+  const std::size_t total = 6;
+  // Shard 1's journal is bytes-but-no-header: a worker died inside its very
+  // first write. The adopter holds the exclusive lease and every run is a
+  // pure function of its seed, so it deletes the wreck and re-runs.
+  write_file(shard_journal_path(dir.str(), 1, 2), "garbage");
+  const std::string lease = shard_lease_path(dir.str(), 1, 2);
+  write_file(lease, "dead-worker");
+  make_stale(lease);
+
+  ShardOptions so;
+  so.dir = dir.str();
+  so.shard_index = 0;
+  so.shard_count = 2;
+  so.worker_id = "survivor";
+  const ShardProgress p = run_sharded_campaign(synth_fn(), 0, total, so);
+  EXPECT_TRUE(p.campaign_complete);
+  EXPECT_EQ(p.runs_executed, total);
+
+  FaultCampaign reference(synth_fn());
+  reference.run(0, total);
+  FaultCampaign folded(merge_shard_dir(dir.str()).results);
+  EXPECT_EQ(csv_of(folded), csv_of(reference));
+}
+
+TEST(ShardWorker, TwoWorkersSplitTheCampaignWithZeroOverlap) {
+  ScratchDir dir("two");
+  const std::uint64_t base = 7;
+  const std::size_t total = 24;
+  std::mutex mu;
+  std::set<std::uint64_t> executed;
+  const auto counting_fn = [&](std::uint64_t seed) {
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      EXPECT_TRUE(executed.insert(seed).second)
+          << "seed " << seed << " ran twice: the leases leaked a shard";
+    }
+    return synth_run(seed);
+  };
+
+  ShardProgress p0, p1;
+  std::thread w0([&] {
+    ShardOptions so;
+    so.dir = dir.str();
+    so.shard_index = 0;
+    so.shard_count = 2;
+    so.worker_id = "w0";
+    so.poll_ms = 20;
+    p0 = run_sharded_campaign(counting_fn, base, total, so);
+  });
+  std::thread w1([&] {
+    ShardOptions so;
+    so.dir = dir.str();
+    so.shard_index = 1;
+    so.shard_count = 2;
+    so.worker_id = "w1";
+    so.poll_ms = 20;
+    p1 = run_sharded_campaign(counting_fn, base, total, so);
+  });
+  w0.join();
+  w1.join();
+
+  EXPECT_TRUE(p0.campaign_complete);
+  EXPECT_TRUE(p1.campaign_complete);
+  EXPECT_EQ(executed.size(), total);
+  EXPECT_EQ(p0.runs_executed + p1.runs_executed, total);
+  EXPECT_EQ(p0.shards_run + p1.shards_run, 2u);
+
+  FaultCampaign reference(synth_fn());
+  reference.run(base, total);
+  FaultCampaign folded(merge_shard_dir(dir.str()).results);
+  EXPECT_EQ(csv_of(folded), csv_of(reference));
+}
+
+// ---- merge refusals -------------------------------------------------------
+
+/// Builds a complete, healthy 2-shard fleet in `dir` for refusal tests to
+/// then damage.
+void build_fleet(const std::string& dir, std::uint64_t base,
+                 std::size_t total) {
+  ShardOptions so;
+  so.dir = dir;
+  so.shard_index = 0;
+  so.shard_count = 2;
+  so.worker_id = "builder";
+  const ShardProgress p = run_sharded_campaign(synth_fn(), base, total, so);
+  ASSERT_TRUE(p.campaign_complete);
+}
+
+TEST(ShardMerge, MissingShardJournalIsIncomplete) {
+  ScratchDir dir("missing_shard");
+  build_fleet(dir.str(), 0, 10);
+  std::filesystem::remove(shard_journal_path(dir.str(), 1, 2));
+  try {
+    merge_shard_dir(dir.str());
+    FAIL() << "expected SimError(kMergeIncomplete)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimError::Kind::kMergeIncomplete);
+    EXPECT_NE(std::string(e.what()).find("no journal for shard 1"),
+              std::string::npos) << e.what();
+  }
+}
+
+TEST(ShardMerge, MissingRunRecordsAreIncomplete) {
+  ScratchDir dir("missing_runs");
+  const std::size_t total = 10;
+  const ShardRange r1 = shard_range(1, 2, total);
+  build_fleet(dir.str(), 0, total);
+  // Rewrite shard 1's journal with one record missing: an unfinished fleet.
+  JournalHeader h;
+  h.base_seed = r1.begin;
+  h.runs = r1.size();
+  h.shard_index = 1;
+  h.shard_count = 2;
+  h.shard_begin = r1.begin;
+  h.total_runs = total;
+  {
+    JournalWriter w(shard_journal_path(dir.str(), 1, 2), h, 1);
+    for (std::size_t i = 0; i + 1 < r1.size(); ++i) {
+      w.append(i, synth_run(r1.begin + i));
+    }
+  }
+  try {
+    merge_shard_dir(dir.str());
+    FAIL() << "expected SimError(kMergeIncomplete)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimError::Kind::kMergeIncomplete);
+    EXPECT_NE(std::string(e.what()).find("1 of 10 runs have no record"),
+              std::string::npos) << e.what();
+  }
+}
+
+TEST(ShardMerge, MixedScenarioDigestsAreRefused) {
+  ScratchDir dir("mixed_digest");
+  const std::size_t total = 10;
+  const ShardRange r1 = shard_range(1, 2, total);
+  build_fleet(dir.str(), 0, total);
+  // Shard 1 re-written under a different fault model digest.
+  JournalHeader h;
+  h.base_seed = r1.begin;
+  h.runs = r1.size();
+  h.scenario_digest = 0xdeadbeef;
+  h.shard_index = 1;
+  h.shard_count = 2;
+  h.shard_begin = r1.begin;
+  h.total_runs = total;
+  {
+    JournalWriter w(shard_journal_path(dir.str(), 1, 2), h, 1);
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+      w.append(i, synth_run(r1.begin + i));
+    }
+  }
+  try {
+    merge_shard_dir(dir.str());
+    FAIL() << "expected SimError(kBadConfig)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimError::Kind::kBadConfig);
+    EXPECT_NE(std::string(e.what()).find("different fault models"),
+              std::string::npos) << e.what();
+  }
+}
+
+TEST(ShardMerge, OldFormatVersionsAreRefusedNamingBothVersions) {
+  ScratchDir dir("old_version");
+  build_fleet(dir.str(), 0, 10);
+  // Overwrite shard 1 with a v1-framed journal (pre-shard format). Framing
+  // re-implemented here because the current writer cannot produce v1.
+  std::string payload;
+  auto u32 = [&payload](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      payload.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  auto u64 = [&payload](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      payload.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  u32(1);  // version
+  u64(5);  // base_seed
+  u64(5);  // runs
+  u64(0);  // digest
+  u32(0);  // empty tag
+  std::string rec;
+  rec.push_back('H');
+  for (int i = 0; i < 4; ++i) {
+    rec.push_back(static_cast<char>((payload.size() >> (8 * i)) & 0xff));
+  }
+  rec += payload;
+  std::uint64_t sum = 1469598103934665603ull;
+  for (const char c : rec) {
+    sum ^= static_cast<unsigned char>(c);
+    sum *= 1099511628211ull;
+  }
+  for (int i = 0; i < 8; ++i) {
+    rec.push_back(static_cast<char>((sum >> (8 * i)) & 0xff));
+  }
+  write_file(shard_journal_path(dir.str(), 1, 2), rec);
+  try {
+    merge_shard_dir(dir.str());
+    FAIL() << "expected SimError(kShardVersionMismatch)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimError::Kind::kShardVersionMismatch);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("version 2"), std::string::npos) << what;
+  }
+}
+
+TEST(ShardMerge, EmptyDirectoryIsIncomplete) {
+  ScratchDir dir("empty");
+  try {
+    merge_shard_dir(dir.str());
+    FAIL() << "expected SimError(kMergeIncomplete)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimError::Kind::kMergeIncomplete);
+  }
+}
+
+}  // namespace
+}  // namespace sctrace
