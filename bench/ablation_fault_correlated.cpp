@@ -40,6 +40,25 @@
 //   complete. --lease-ttl-ms MS sets the adoption staleness threshold
 //   (default 10000). --merge folds the shard journals back into the same
 //   fault_correlated_burst.csv an uninterrupted run writes, byte-identically.
+//
+//   Sweep fleet mode — the mapping x scenario grid as lease-claimable cells:
+//   --sweep-shard i/N  runs this process as a sweep-fleet worker: every grid
+//     cell is an independent work unit (one lease + one journal per cell in
+//     --sweep-dir, default fault_correlated_sweep.shard/ next to the
+//     binary); workers spread across cells, adopt stale leases, and
+//     quarantine a cell after --max-adoptions failed adoptions (default 3).
+//   --sweep-merge  folds the cell journals back into the sweep grid + CSV,
+//     byte-identical to the uninterrupted fault_correlated_sweep.csv. With
+//     --allow-partial an unfinished/quarantined fleet produces a clearly
+//     marked DEGRADED report (exit code 3) instead of a refusal (exit 1).
+//   --sweep-status  read-only per-cell fleet progress (exit 0 once every
+//     cell is done or quarantined, 1 while the fleet is still working).
+//   --poison-cell m/s  fault-injection for the fleet itself: any worker
+//     that executes a run of cell m/s raises SIGKILL — the crash-loop
+//     scenario the quarantine machinery exists for (CI uses this).
+
+#include <csignal>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -269,6 +288,19 @@ std::size_t g_shard_count = 1;
 std::string g_shard_dir;
 std::uint64_t g_lease_ttl_ms = 10000;
 
+// Sweep fleet mode: grid cells as lease-claimable units in g_sweep_dir.
+bool g_sweep_shard = false;
+bool g_sweep_merge = false;
+bool g_sweep_status = false;
+bool g_allow_partial = false;
+std::size_t g_sweep_index = 0;
+std::size_t g_sweep_count = 1;
+std::string g_sweep_dir;
+std::uint64_t g_max_adoptions = 3;
+/// "mapping/scenario" whose runs SIGKILL the executing worker ("" = none):
+/// the deliberate poison cell for the quarantine crash-loop CI gate.
+std::string g_poison_cell;
+
 /// CSV artifacts land next to the binary (build/bench/), not in the
 /// caller's cwd, so runs never litter the source tree.
 std::string g_out_dir;
@@ -312,6 +344,99 @@ std::size_t scaled(std::size_t n, int pct) {
   return s < 4 ? 4 : s;
 }
 
+// ---- sweep fleet mode ------------------------------------------------------
+
+const std::vector<std::string>& sweep_mappings() {
+  static const std::vector<std::string> v = {"shared_cpu", "split_cpu"};
+  return v;
+}
+
+const std::vector<std::string>& sweep_scenarios() {
+  static const std::vector<std::string> v = {"iid", "burst", "storm"};
+  return v;
+}
+
+/// The same factory the in-process CampaignSweep uses, plus the poison-cell
+/// hook: a worker told to poison "m/s" SIGKILLs itself the moment it
+/// executes a run of that cell — no cleanup, no journal close, exactly the
+/// crash a dying host produces. The fleet must heal around it: survivors
+/// adopt the cell, die the same way, and the adoption counter quarantines it.
+sctrace::CampaignSweep::Factory sweep_factory() {
+  return [](const std::string& mapping, const std::string& scenario) {
+    const RunOptions opt = scenario_options(scenario, mapping == "split_cpu");
+    const bool poison = !g_poison_cell.empty() &&
+                        g_poison_cell == mapping + "/" + scenario;
+    return [opt, poison](std::uint64_t s) {
+      if (poison) ::kill(::getpid(), SIGKILL);
+      return run_stream(s, opt);
+    };
+  };
+}
+
+int run_sweep_worker(std::size_t n_sweep, std::uint64_t seed) {
+  sctrace::CampaignOptions co = g_campaign_opts;
+  co.journal_tag = "correlated-sweep";
+  sctrace::ShardOptions so;
+  so.dir = g_sweep_dir;
+  so.shard_index = g_sweep_index;
+  so.shard_count = g_sweep_count;
+  so.lease_ttl_ms = g_lease_ttl_ms;
+  so.max_adoptions = g_max_adoptions;
+  std::printf("sweep worker %zu/%zu over %zux%zu cells x %zu runs, dir %s\n",
+              g_sweep_index, g_sweep_count, sweep_mappings().size(),
+              sweep_scenarios().size(), n_sweep, g_sweep_dir.c_str());
+  const sctrace::ShardProgress p = sctrace::run_sharded_sweep(
+      sweep_mappings(), sweep_scenarios(), sweep_factory(), seed, n_sweep, so,
+      co);
+  std::printf(
+      "sweep worker %zu/%zu: %zu cells run, adopted %zu, %zu runs executed, "
+      "%zu lease conflicts, %zu cells lost, %zu abandoned, %zu quarantined, "
+      "sweep %s\n",
+      g_sweep_index, g_sweep_count, p.shards_run, p.shards_adopted,
+      p.runs_executed, p.lease_conflicts, p.shards_lost, p.shards_abandoned,
+      p.shards_quarantined,
+      p.campaign_complete ? "complete"
+                          : (p.fleet_done ? "done (degraded)" : "incomplete"));
+  return 0;
+}
+
+int run_sweep_merge() {
+  sctrace::MergeOptions mo;
+  mo.allow_partial = g_allow_partial;
+  try {
+    const sctrace::MergedSweep merged = sctrace::merge_sweep_dir(g_sweep_dir, mo);
+    std::printf("merged sweep: %zu of %zu cells complete\n",
+                merged.complete_cells(), merged.cells.size());
+    std::ostringstream grid;
+    merged.print(grid);
+    std::fputs(grid.str().c_str(), stdout);
+    std::ofstream csv(out_path("fault_correlated_sweep.csv"));
+    merged.write_csv(csv);
+    std::printf("  per-cell rows -> %s\n",
+                out_path("fault_correlated_sweep.csv").c_str());
+    // 3 = degraded-but-emitted, distinct from both success and refusal so
+    // scripts can tell "publishable" from "salvaged" without parsing output.
+    return merged.complete ? 0 : 3;
+  } catch (const minisc::SimError& e) {
+    std::printf("MERGE REFUSED: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run_sweep_status() {
+  try {
+    const sctrace::FleetStatus st =
+        sctrace::sweep_fleet_status(g_sweep_dir, g_lease_ttl_ms);
+    std::ostringstream os;
+    sctrace::print_fleet_status(os, st);
+    std::fputs(os.str().c_str(), stdout);
+    return st.fleet_done() ? 0 : 1;
+  } catch (const minisc::SimError& e) {
+    std::printf("%s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -342,6 +467,26 @@ int main(int argc, char** argv) {
       g_lease_ttl_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--merge") == 0) {
       g_merge = true;
+    } else if (std::strcmp(argv[i], "--sweep-shard") == 0 && i + 1 < argc) {
+      if (std::sscanf(argv[++i], "%zu/%zu", &g_sweep_index, &g_sweep_count) !=
+              2 ||
+          g_sweep_count == 0 || g_sweep_index >= g_sweep_count) {
+        std::printf("bad --sweep-shard '%s' (want i/N with i < N)\n", argv[i]);
+        return 1;
+      }
+      g_sweep_shard = true;
+    } else if (std::strcmp(argv[i], "--sweep-dir") == 0 && i + 1 < argc) {
+      g_sweep_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep-merge") == 0) {
+      g_sweep_merge = true;
+    } else if (std::strcmp(argv[i], "--sweep-status") == 0) {
+      g_sweep_status = true;
+    } else if (std::strcmp(argv[i], "--allow-partial") == 0) {
+      g_allow_partial = true;
+    } else if (std::strcmp(argv[i], "--max-adoptions") == 0 && i + 1 < argc) {
+      g_max_adoptions = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--poison-cell") == 0 && i + 1 < argc) {
+      g_poison_cell = argv[++i];
     } else {
       pct = std::atoi(argv[i]);
     }
@@ -351,6 +496,19 @@ int main(int argc, char** argv) {
   bool ok = true;
   if (g_shard_dir.empty()) {
     g_shard_dir = out_path("fault_correlated_burst.shard");
+  }
+  if (g_sweep_dir.empty()) {
+    g_sweep_dir = out_path("fault_correlated_sweep.shard");
+  }
+
+  if (g_sweep_status) return run_sweep_status();
+  if (g_sweep_merge) return run_sweep_merge();
+  if (g_sweep_shard) {
+    // Sweep-fleet worker: grid cells as lease-claimable units. Gates are
+    // skipped — the merged sweep CSV cmp against an uninterrupted run is
+    // the determinism gate, and the CI crash-loop gate kills workers here
+    // on purpose (--poison-cell).
+    return run_sweep_worker(scaled(25, pct), kSeed);
   }
 
   if (g_merge) {

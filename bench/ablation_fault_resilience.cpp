@@ -44,7 +44,19 @@
 //               report + CSV output an uninterrupted single-process run
 //               produces, byte-identically; refuses mixed format versions
 //               or fault-model digests and incomplete fleets.
+//   --allow-partial  with --merge: instead of refusing an unfinished or
+//               quarantined fleet, emit a clearly-marked DEGRADED report
+//               over the recorded runs and exit with code 3.
+//   --status    read-only fleet progress: per-shard state (done / claimed /
+//               stale / quarantined / unclaimed), owners, heartbeat ages
+//               and adoption counts, rendered purely from --shard-dir.
+//               Exits 0 when the fleet is done, 1 while it is not.
+//   --max-adoptions K  quarantine a shard after K adoptions (default 3;
+//               0 = adopt forever): a poison shard that crashes every
+//               worker that touches it is tombstoned out of the claim
+//               pass instead of crash-looping the fleet.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -249,10 +261,13 @@ bool g_journal = false;
 // Fleet mode: --shard i/N workers share g_shard_dir; --merge folds it back.
 bool g_shard = false;
 bool g_merge = false;
+bool g_status = false;
+bool g_allow_partial = false;
 std::size_t g_shard_index = 0;
 std::size_t g_shard_count = 1;
 std::string g_shard_dir;
 std::uint64_t g_lease_ttl_ms = 10000;
+std::uint64_t g_max_adoptions = 3;
 
 /// CSV artifacts land next to the binary (build/bench/), not in the
 /// caller's cwd, so runs never litter the source tree.
@@ -283,26 +298,71 @@ void run_shard_worker(const char* label, bool resilient,
   so.shard_index = g_shard_index;
   so.shard_count = g_shard_count;
   so.lease_ttl_ms = g_lease_ttl_ms;
+  so.max_adoptions = g_max_adoptions;
 
   const sctrace::ShardProgress p = sctrace::run_sharded_campaign(
       [resilient](std::uint64_t seed) { return run_pipeline(seed, resilient); },
       base_seed, n, so, opts);
   std::printf(
       "  [%s] worker %zu/%zu: %zu shards run, adopted %zu, %zu runs "
-      "executed, %zu lease conflicts, %zu shards lost, campaign %s\n",
+      "executed, %zu lease conflicts, %zu shards lost, %zu abandoned, "
+      "%zu quarantined, campaign %s\n",
       label, g_shard_index, g_shard_count, p.shards_run, p.shards_adopted,
-      p.runs_executed, p.lease_conflicts, p.shards_lost,
-      p.campaign_complete ? "complete" : "incomplete");
+      p.runs_executed, p.lease_conflicts, p.shards_lost, p.shards_abandoned,
+      p.shards_quarantined,
+      p.campaign_complete ? "complete"
+                          : (p.fleet_done ? "done (degraded)" : "incomplete"));
 }
 
-void run_merge(const char* label) {
+/// Returns the process exit code: 0 for a complete merge, 3 for a degraded
+/// partial one (distinct so scripts can tell "publishable" from "salvaged").
+int run_merge(const char* label) {
+  sctrace::MergeOptions mo;
+  mo.allow_partial = g_allow_partial;
   sctrace::MergedCampaign merged =
-      sctrace::merge_shard_dir(g_shard_dir + "/" + label);
+      sctrace::merge_shard_dir(g_shard_dir + "/" + label, mo);
   std::printf("  [%s] merged %zu shards: %zu runs, base seed %llu\n", label,
               merged.shard_count, merged.runs,
               static_cast<unsigned long long>(merged.base_seed));
+  if (!merged.complete) {
+    std::printf(
+        "  [%s] DEGRADED merge: %zu of %zu runs recorded (%zu missing, "
+        "%zu shards without journals, %zu quarantined)\n",
+        label, merged.recorded_runs, merged.runs, merged.missing_records,
+        merged.missing_shards.size(), merged.quarantined.size());
+    for (const sctrace::QuarantinedUnit& q : merged.quarantined) {
+      std::printf("  [%s] quarantined %s: %llu adoptions, last owner '%s'%s%s\n",
+                  label, q.name.c_str(),
+                  static_cast<unsigned long long>(q.info.adoptions),
+                  q.info.owner.c_str(),
+                  q.info.error.empty() ? "" : ", error: ",
+                  q.info.error.c_str());
+    }
+  }
   sctrace::FaultCampaign campaign(std::move(merged.results));
   emit_campaign(label, campaign);
+  return merged.complete ? 0 : 3;
+}
+
+/// Read-only fleet progress for both labels; exit 0 when every shard of
+/// both fleets is done or quarantined, 1 otherwise.
+int run_status() {
+  bool all_done = true;
+  for (const char* label : {"non_resilient", "resilient"}) {
+    std::printf("== %s fleet ==\n", label);
+    try {
+      const sctrace::FleetStatus st =
+          sctrace::fleet_status(g_shard_dir + "/" + label, g_lease_ttl_ms);
+      std::ostringstream os;
+      sctrace::print_fleet_status(os, st);
+      std::fputs(os.str().c_str(), stdout);
+      if (!st.fleet_done()) all_done = false;
+    } catch (const minisc::SimError& e) {
+      std::printf("  %s\n", e.what());
+      all_done = false;
+    }
+  }
+  return all_done ? 0 : 1;
 }
 
 void run_campaign(const char* label, bool resilient, std::uint64_t base_seed,
@@ -364,22 +424,34 @@ int main(int argc, char** argv) {
       g_lease_ttl_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--merge") == 0) {
       g_merge = true;
+    } else if (std::strcmp(argv[i], "--status") == 0) {
+      g_status = true;
+    } else if (std::strcmp(argv[i], "--allow-partial") == 0) {
+      g_allow_partial = true;
+    } else if (std::strcmp(argv[i], "--max-adoptions") == 0 && i + 1 < argc) {
+      g_max_adoptions = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     }
   }
   const std::size_t kRuns = runs;
   if (g_shard_dir.empty()) g_shard_dir = g_out_dir + "fault_resilience.shard";
 
+  if (g_status) {
+    // Pure observation: stat+read of the shard dir, no leases touched.
+    return run_status();
+  }
+
   if (g_merge) {
     // Merge mode touches no simulation: fold the fleet's journals back into
     // the single-process report + CSV, byte-identically, or refuse loudly.
+    // --allow-partial degrades instead of refusing (exit 3, marked output).
     try {
-      run_merge("non_resilient");
-      run_merge("resilient");
+      const int rc_a = run_merge("non_resilient");
+      const int rc_b = run_merge("resilient");
+      return std::max(rc_a, rc_b);
     } catch (const minisc::SimError& e) {
       std::printf("MERGE REFUSED: %s\n", e.what());
       return 1;
     }
-    return 0;
   }
 
   if (g_shard) {

@@ -28,6 +28,10 @@ const char* to_string(SimError::Kind k) {
       return "shard_version_mismatch";
     case SimError::Kind::kMergeIncomplete:
       return "merge_incomplete";
+    case SimError::Kind::kIoError:
+      return "io_error";
+    case SimError::Kind::kShardQuarantined:
+      return "shard_quarantined";
   }
   return "?";
 }
@@ -60,7 +64,8 @@ std::string SimError::format(Kind kind, const std::string& summary,
   if (kind != Kind::kNoSimulator && kind != Kind::kNoProcessContext &&
       kind != Kind::kBadConfig && kind != Kind::kJournalCorrupt &&
       kind != Kind::kLeaseConflict && kind != Kind::kShardVersionMismatch &&
-      kind != Kind::kMergeIncomplete) {
+      kind != Kind::kMergeIncomplete && kind != Kind::kIoError &&
+      kind != Kind::kShardQuarantined) {
     os << " at t=" << sim_time.str() << " delta=" << delta;
   }
   for (const ProcessDiagnostic& p : processes) {

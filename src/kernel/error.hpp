@@ -39,6 +39,8 @@ class SimError : public std::runtime_error {
     kLeaseConflict,     ///< shard lease already held by a live worker
     kShardVersionMismatch,  ///< journal format version differs from this build
     kMergeIncomplete,   ///< shard merge is missing journals or run records
+    kIoError,           ///< host I/O failure (ENOSPC, EIO, ...) with errno text
+    kShardQuarantined,  ///< shard hit its adoption cap and was tombstoned
   };
 
   SimError(Kind kind, std::string summary, Time sim_time = Time::zero(),
@@ -79,7 +81,9 @@ const char* to_string(SimError::Kind k);
 /// VM or a cold cache can trip it on one attempt and not the next) and
 /// kLeaseConflict (two fleet workers raced for the same shard lease — the
 /// loser simply claims again later, or claims a different shard). Everything
-/// else fails fast.
+/// else fails fast — deliberately including kIoError: a full disk or a dying
+/// device does not get better because a retry loop hammers it, so journal
+/// and lease I/O failures surface once, loudly, with their errno text.
 bool is_transient(SimError::Kind k);
 
 inline bool SimError::transient() const { return is_transient(kind_); }

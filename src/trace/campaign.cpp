@@ -60,6 +60,13 @@ CampaignRunResult run_with_retry(const FaultCampaign::RunFn& fn,
       r.attempts = attempt;
       return r;
     } catch (const minisc::SimError& e) {
+      if (e.kind() == minisc::SimError::Kind::kIoError) {
+        // Infrastructure failure, not a simulation outcome: recording a full
+        // disk as a failed *run* would bias the campaign statistics against
+        // seeds that happened to land on a sick host. Propagate instead —
+        // fleet workers quarantine the shard, plain campaigns abort loudly.
+        throw;
+      }
       if (e.transient() && attempt < max_attempts) {
         const std::uint64_t ms = retry_backoff_ms(seed, attempt, opts);
         if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
@@ -400,6 +407,12 @@ std::string sanitize_for_path(const std::string& s) {
 
 void CampaignSweep::run(std::uint64_t base_seed, std::size_t n,
                         const CampaignOptions& opts) {
+  if (!factory_) {
+    throw minisc::SimError(
+        minisc::SimError::Kind::kBadConfig,
+        "CampaignSweep::run on a merge-constructed sweep: it carries "
+        "recorded cells only, there is no factory to execute");
+  }
   cells_.clear();
   cells_.reserve(mappings_.size() * scenarios_.size());
   for (const std::string& m : mappings_) {

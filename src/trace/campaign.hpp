@@ -240,7 +240,11 @@ class FaultCampaign {
   /// is recorded as a failed run in either mode — after opts.max_attempts
   /// tries with deterministic backoff when the error is transient
   /// (minisc::is_transient) — and opts.run_wall_clock_ms converts a hung
-  /// seed into a failed-with-timeout record. Any other exception propagates
+  /// seed into a failed-with-timeout record. The one SimError exempt from
+  /// recording is kIoError (full disk, dying device): an infrastructure
+  /// failure is not a property of the seed, so it propagates out of run()
+  /// instead of biasing the statistics — fleet workers (trace/shard.hpp)
+  /// catch it and quarantine the shard. Any other exception propagates
   /// (parallel mode finishes in-flight runs first and leaves unreached slots
   /// default-constructed).
   ///
@@ -288,6 +292,19 @@ class CampaignSweep {
       : mappings_(std::move(mappings)),
         scenarios_(std::move(scenarios)),
         factory_(std::move(factory)) {}
+
+  /// Builds a sweep directly from recorded cells — the fleet-merge path:
+  /// sctrace::merge_sweep_dir folds per-cell journals into Cell reports and
+  /// this constructor makes print()/write_csv() available on them,
+  /// byte-identical to the single-process sweep that would have produced the
+  /// same cells. A missing (mapping, scenario) pair renders as '-' in the
+  /// grid, which is how a degraded partial merge marks its holes. run() on
+  /// such a sweep throws minisc::SimError(kBadConfig): there is no factory.
+  CampaignSweep(std::vector<std::string> mappings,
+                std::vector<std::string> scenarios, std::vector<Cell> cells)
+      : mappings_(std::move(mappings)),
+        scenarios_(std::move(scenarios)),
+        cells_(std::move(cells)) {}
 
   /// Runs every cell's campaign with the same base seed and run count —
   /// common random numbers across cells, so cell differences are design

@@ -164,8 +164,13 @@ std::string frame(char type, const std::string& payload) {
                      " (bit rot or concurrent writer?)");
 }
 
+/// Writer-side syscall failure: a full disk (ENOSPC), a dying device (EIO)
+/// or any other host I/O fault while appending. Structured as kIoError —
+/// non-transient by contract (minisc::is_transient), so campaign retry loops
+/// do not hammer a disk that cannot get better — with the errno text
+/// preserved for the operator.
 [[noreturn]] void throw_io(const std::string& path, const char* op) {
-  throw SimError(SimError::Kind::kBadConfig,
+  throw SimError(SimError::Kind::kIoError,
                  "campaign journal '" + path + "': " + op + " failed: " +
                      std::strerror(errno));
 }

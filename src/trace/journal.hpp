@@ -132,8 +132,9 @@ class JournalWriter {
   ~JournalWriter();
 
   /// Appends one run record and makes it visible to readers; fsyncs every
-  /// `flush_every` appends. Thread-safe. Throws minisc::SimError(kBadConfig)
-  /// on I/O failure.
+  /// `flush_every` appends. Thread-safe. Throws minisc::SimError(kIoError)
+  /// carrying the errno text on I/O failure (ENOSPC, EIO, ...); the kind is
+  /// non-transient so campaign retry does not hammer a full disk.
   void append(std::size_t index, const CampaignRunResult& result);
 
   /// Forces the batched fsync now.

@@ -11,6 +11,9 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <utility>
 
 #include "kernel/error.hpp"
 
@@ -19,10 +22,12 @@ namespace {
 
 using minisc::SimError;
 
+/// Host I/O failures on lease/manifest files are infrastructure errors, not
+/// simulation outcomes: kIoError, non-transient, carrying the errno text —
+/// same classification as journal appends (trace/journal.cpp).
 [[noreturn]] void throw_io(const std::string& path, const char* op) {
-  throw SimError(SimError::Kind::kBadConfig,
-                 "shard lease '" + path + "': " + op + " failed: " +
-                     std::strerror(errno));
+  throw SimError(SimError::Kind::kIoError,
+                 "'" + path + "': " + op + " failed: " + std::strerror(errno));
 }
 
 std::uint64_t wall_now_ms() {
@@ -42,29 +47,87 @@ bool lease_mtime_ms(const std::string& path, std::uint64_t* out) {
   return true;
 }
 
-/// Whole-file read of a small lease; "" on any error (treated as not-ours).
-std::string read_lease_owner(const std::string& path) {
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// The staleness rule, clock-skew edge included: a lease is alive only when
+/// its heartbeat mtime is within one TTL of now in EITHER direction. An
+/// mtime more than a TTL in the future (restored snapshot, a clock that
+/// once lied forward) is not being refreshed by anyone either — treating it
+/// as alive would make the shard unadoptable until the wall clock catches
+/// up, which can be never.
+bool lease_alive(std::uint64_t mtime_ms, std::uint64_t now_ms,
+                 std::uint64_t ttl_ms) {
+  return now_ms < mtime_ms + ttl_ms && mtime_ms < now_ms + ttl_ms;
+}
+
+/// Whole-file read; "" on any error (treated as not-ours / unreadable).
+std::string read_whole_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return {};
-  std::string s((std::istreambuf_iterator<char>(in)),
-                std::istreambuf_iterator<char>());
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Structured lease content. The raw fallback (no "owner " prefix) keeps
+/// pre-counter leases and hand-written test fixtures parseable: the whole
+/// content is the owner, zero adoptions, no recorded error.
+LeaseInfo parse_lease(const std::string& content) {
+  LeaseInfo info;
+  if (content.compare(0, 6, "owner ") != 0) {
+    info.owner = content;
+    return info;
+  }
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    const std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.compare(0, 6, "owner ") == 0) {
+      info.owner = line.substr(6);
+    } else if (line.compare(0, 10, "adoptions ") == 0) {
+      info.adoptions = std::strtoull(line.c_str() + 10, nullptr, 10);
+    } else if (line.compare(0, 6, "error ") == 0) {
+      info.error = line.substr(6);
+    }
+    // Unknown keys (e.g. "quarantined-by") are ignored: tombstones carry
+    // extra provenance that older readers can skip.
+  }
+  return info;
+}
+
+/// Error texts live on one line of the lease file; collapse any newlines.
+std::string one_line(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+std::string format_lease(const std::string& owner, std::uint64_t adoptions,
+                         const std::string& error) {
+  std::string s = "owner " + owner + "\nadoptions " +
+                  std::to_string(adoptions) + "\n";
+  if (!error.empty()) s += "error " + one_line(error) + "\n";
   return s;
 }
 
 /// O_EXCL lease creation — the atomic "exactly one winner" claim. Returns
 /// false when the path already exists (lost the race); throws on real I/O
-/// failure. The worker id is the file content, fsynced so an adopter's
-/// ownership probe never reads a torn id.
-bool create_lease_file(const std::string& path, const std::string& worker_id) {
+/// failure. Content is fsynced so an adopter's ownership probe never reads
+/// a torn lease.
+bool create_lease_file(const std::string& path, const std::string& content) {
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
   if (fd < 0) {
     if (errno == EEXIST) return false;
     throw_io(path, "open(O_EXCL)");
   }
   std::size_t off = 0;
-  while (off < worker_id.size()) {
-    const ssize_t n = ::write(fd, worker_id.data() + off,
-                              worker_id.size() - off);
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
     if (n < 0) {
       ::close(fd);
       throw_io(path, "write");
@@ -79,9 +142,70 @@ bool create_lease_file(const std::string& path, const std::string& worker_id) {
   return true;
 }
 
-[[noreturn]] void throw_conflict(const std::string& path, const std::string& why) {
+/// Write-then-rename: readers see the old content or the new, never a torn
+/// mix. Used for lease error records and quarantine tombstones.
+void write_file_atomic(const std::string& path, const std::string& content,
+                       const std::string& tmp_tag) {
+  const std::string tmp = path + ".tmp-" + tmp_tag;
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_io(tmp, "open");
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw_io(tmp, "write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw_io(tmp, "fsync");
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_io(path, "rename");
+  }
+}
+
+/// The quarantine tombstone of a lease: "<unit>.lease" -> "<unit>.quarantined"
+/// (matching shard_quarantine_path / cell_quarantine_path for the canonical
+/// filenames; an unconventional lease path just gains the suffix).
+std::string quarantine_path_for_lease(const std::string& lease_path) {
+  const std::string suffix = ".lease";
+  if (lease_path.size() > suffix.size() &&
+      lease_path.compare(lease_path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+    return lease_path.substr(0, lease_path.size() - suffix.size()) +
+           ".quarantined";
+  }
+  return lease_path + ".quarantined";
+}
+
+std::string quarantine_summary(const LeaseInfo& info) {
+  std::string s = "quarantined after " + std::to_string(info.adoptions) +
+                  " adoptions (last owner '" + info.owner + "')";
+  if (info.error.empty()) {
+    s += "; no error recorded — the owner died without reporting one";
+  } else {
+    s += ": " + info.error;
+  }
+  return s;
+}
+
+[[noreturn]] void throw_conflict(const std::string& path,
+                                 const std::string& why) {
   throw SimError(SimError::Kind::kLeaseConflict,
                  "shard lease '" + path + "': " + why);
+}
+
+[[noreturn]] void throw_quarantined(const std::string& lease_path,
+                                    const std::string& detail) {
+  throw SimError(SimError::Kind::kShardQuarantined,
+                 "shard lease '" + lease_path + "': " + detail);
 }
 
 [[noreturn]] void throw_merge_bad(const std::string& what) {
@@ -122,14 +246,47 @@ std::string shard_lease_path(const std::string& dir, std::size_t shard,
          std::to_string(shard_count) + ".lease";
 }
 
+std::string shard_quarantine_path(const std::string& dir, std::size_t shard,
+                                  std::size_t shard_count) {
+  return dir + "/shard_" + std::to_string(shard) + "_of_" +
+         std::to_string(shard_count) + ".quarantined";
+}
+
+std::string cell_journal_path(const std::string& dir, std::size_t cell,
+                              std::size_t cell_count) {
+  return dir + "/cell_" + std::to_string(cell) + "_of_" +
+         std::to_string(cell_count) + ".journal";
+}
+
+std::string cell_lease_path(const std::string& dir, std::size_t cell,
+                            std::size_t cell_count) {
+  return dir + "/cell_" + std::to_string(cell) + "_of_" +
+         std::to_string(cell_count) + ".lease";
+}
+
+std::string cell_quarantine_path(const std::string& dir, std::size_t cell,
+                                 std::size_t cell_count) {
+  return dir + "/cell_" + std::to_string(cell) + "_of_" +
+         std::to_string(cell_count) + ".quarantined";
+}
+
+bool read_lease_info(const std::string& path, LeaseInfo* out) {
+  if (!file_exists(path)) return false;
+  const std::string content = read_whole_file(path);
+  if (content.empty() && !file_exists(path)) return false;
+  *out = parse_lease(content);
+  return true;
+}
+
 // ---- ShardLease ----------------------------------------------------------
 
 ShardLease::ShardLease(std::string path, std::string worker_id,
                        std::uint64_t ttl_ms, std::uint64_t heartbeat_ms,
-                       bool adopted)
+                       std::uint64_t adoptions, std::string carried_error)
     : path_(std::move(path)),
       worker_id_(std::move(worker_id)),
-      adopted_(adopted) {
+      adoptions_(adoptions),
+      error_(std::move(carried_error)) {
   std::uint64_t hb = heartbeat_ms != 0 ? heartbeat_ms : ttl_ms / 4;
   if (hb == 0) hb = 1;
   beat_ = std::thread([this, hb] { beat_loop(hb); });
@@ -149,17 +306,48 @@ void ShardLease::beat_loop(std::uint64_t heartbeat_ms) {
     // worker (adopted away, or released by an adopter that finished), stop
     // beating — refreshing someone else's lease would keep a shard we no
     // longer own looking alive.
-    if (read_lease_owner(path_) != worker_id_) {
+    if (parse_lease(read_whole_file(path_)).owner != worker_id_) {
       lost_.store(true, std::memory_order_release);
       lk.lock();
       break;
     }
-    ::utimensat(AT_FDCWD, path_.c_str(), nullptr, 0);
+    if (::utimensat(AT_FDCWD, path_.c_str(), nullptr, 0) != 0) {
+      // A heartbeat that cannot touch its own lease is an infrastructure
+      // failure (EIO, ENOSPC on some filesystems, a yanked mount). Record
+      // the errno text — the fleet loop surfaces it as SimError(kIoError)
+      // between runs — and keep trying: the flag is sticky either way.
+      const std::string err = "lease heartbeat on '" + path_ +
+                              "': utimensat failed: " + std::strerror(errno);
+      lk.lock();
+      if (io_error_.empty()) io_error_ = err;
+      continue;
+    }
     lk.lock();
   }
 }
 
-void ShardLease::release() {
+std::string ShardLease::io_error() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return io_error_;
+}
+
+void ShardLease::record_error(const std::string& error) {
+  // Ownership guard: if the lease was already adopted away (we were paused
+  // past the TTL), the file belongs to the adopter — overwriting it would
+  // knock a live worker off the shard. The remaining TOCTOU window is
+  // harmless: the displaced adopter sees a foreign owner on its next
+  // heartbeat, aborts via LeaseLostError, and re-claims; journal appends
+  // are bit-identical either way (runs are pure functions of their seed).
+  if (lost() || parse_lease(read_whole_file(path_)).owner != worker_id_) {
+    lost_.store(true, std::memory_order_release);
+    return;
+  }
+  error_ = one_line(error);
+  write_file_atomic(path_, format_lease(worker_id_, adoptions_, error_),
+                    worker_id_);
+}
+
+void ShardLease::stop_beat() {
   {
     std::unique_lock<std::mutex> lk(mu_);
     if (!stop_) {
@@ -168,19 +356,33 @@ void ShardLease::release() {
     }
   }
   if (beat_.joinable()) beat_.join();
+}
+
+void ShardLease::release() {
+  stop_beat();
   if (!released_) {
     released_ = true;
     // A lost lease belongs to its adopter now; only unlink our own.
-    if (!lost() && read_lease_owner(path_) == worker_id_) {
+    if (!lost() && parse_lease(read_whole_file(path_)).owner == worker_id_) {
       ::unlink(path_.c_str());
     }
   }
 }
 
+void ShardLease::abandon() {
+  stop_beat();
+  // Deliberately NOT unlinking: the lease stays behind with its error
+  // recorded and its heartbeat frozen, goes stale after one TTL, and the
+  // next claimer adopts it — or quarantines it once the adoption counter
+  // says every adopter has failed the same way.
+  released_ = true;
+}
+
 std::unique_ptr<ShardLease> claim_shard_lease(const std::string& path,
                                               const std::string& worker_id,
                                               std::uint64_t lease_ttl_ms,
-                                              std::uint64_t heartbeat_ms) {
+                                              std::uint64_t heartbeat_ms,
+                                              std::uint64_t max_adoptions) {
   if (worker_id.empty() || worker_id.find('/') != std::string::npos) {
     throw SimError(SimError::Kind::kBadConfig,
                    "shard lease '" + path + "': worker id '" + worker_id +
@@ -191,46 +393,98 @@ std::unique_ptr<ShardLease> claim_shard_lease(const std::string& path,
                    "shard lease '" + path + "': lease TTL must be > 0");
   }
 
-  // Fresh claim: O_EXCL picks exactly one winner among racing creators.
-  if (create_lease_file(path, worker_id)) {
-    return std::unique_ptr<ShardLease>(new ShardLease(
-        path, worker_id, lease_ttl_ms, heartbeat_ms, /*adopted=*/false));
+  // Quarantine is terminal: a tombstoned shard is never claimable again.
+  const std::string qpath = quarantine_path_for_lease(path);
+  LeaseInfo qinfo;
+  if (read_lease_info(qpath, &qinfo)) {
+    throw_quarantined(path, quarantine_summary(qinfo));
   }
 
-  // Lease exists. Alive (heartbeat within TTL) → conflict, transient: the
-  // owner is working the shard, claim again later or claim another shard.
+  // Fresh claim: O_EXCL picks exactly one winner among racing creators.
+  if (create_lease_file(path, format_lease(worker_id, 0, ""))) {
+    return std::unique_ptr<ShardLease>(
+        new ShardLease(path, worker_id, lease_ttl_ms, heartbeat_ms,
+                       /*adoptions=*/0, /*carried_error=*/""));
+  }
+
+  // Lease exists. Alive (heartbeat within the TTL window, clock skew
+  // included) → conflict, transient: the owner is working the shard.
   std::uint64_t mtime = 0;
   if (!lease_mtime_ms(path, &mtime)) {
     throw_conflict(path, "vanished mid-claim (owner released or was adopted)");
   }
+  const LeaseInfo info = parse_lease(read_whole_file(path));
   const std::uint64_t now = wall_now_ms();
-  if (now < mtime + lease_ttl_ms) {
-    throw_conflict(path, "held by live worker '" + read_lease_owner(path) +
+  if (lease_alive(mtime, now, lease_ttl_ms)) {
+    throw_conflict(path, "held by live worker '" + info.owner +
                              "' (heartbeat " +
                              std::to_string(now > mtime ? now - mtime : 0) +
                              " ms ago, TTL " + std::to_string(lease_ttl_ms) +
                              " ms)");
   }
 
-  // Stale: the owner stopped heartbeating for a full TTL — dead worker.
-  // Steal by rename: the source vanishes for everyone else, so exactly one
-  // adopter proceeds past this line for a given lease incarnation.
+  // Stale: the owner stopped heartbeating for a full TTL — dead worker (or
+  // one that deliberately abandon()ed the shard after a permanent error).
+  if (max_adoptions != 0 && info.adoptions >= max_adoptions) {
+    // Poison shard: it has already been adopted max_adoptions times and
+    // every adopter died or abandoned it. Quarantine instead of adopting —
+    // rename has exactly one winner, so racing adopters cannot tombstone
+    // twice (the losers get a transient conflict, then see the tombstone).
+    if (::rename(path.c_str(), qpath.c_str()) != 0) {
+      throw_conflict(path, "stale, but another worker adopted or "
+                           "quarantined it first");
+    }
+    std::string tomb = "owner " + info.owner + "\nadoptions " +
+                       std::to_string(info.adoptions) + "\nquarantined-by " +
+                       worker_id + "\n";
+    if (!info.error.empty()) tomb += "error " + one_line(info.error) + "\n";
+    write_file_atomic(qpath, tomb, worker_id);
+    throw_quarantined(path, quarantine_summary(parse_lease(tomb)));
+  }
+
+  // Adopt. Steal by rename: the source vanishes for everyone else, so
+  // exactly one adopter proceeds past this line for a given incarnation.
   const std::string tomb = path + ".adopt-" + worker_id;
   if (::rename(path.c_str(), tomb.c_str()) != 0) {
     throw_conflict(path, "stale, but another worker adopted it first");
   }
   ::unlink(tomb.c_str());
-  // Re-claim through the same O_EXCL gate; a racing *fresh* claimer that
-  // saw the path empty after our rename may legitimately beat us here.
-  if (!create_lease_file(path, worker_id)) {
+  // Re-claim through the same O_EXCL gate, carrying the adoption counter
+  // (incremented) and the dead worker's recorded error forward; a racing
+  // *fresh* claimer that saw the path empty after our rename may
+  // legitimately beat us here.
+  if (!create_lease_file(
+          path, format_lease(worker_id, info.adoptions + 1, info.error))) {
     throw_conflict(path, "stale lease stolen, but a new claimer re-created "
                          "it first");
   }
-  return std::unique_ptr<ShardLease>(new ShardLease(
-      path, worker_id, lease_ttl_ms, heartbeat_ms, /*adopted=*/true));
+  return std::unique_ptr<ShardLease>(
+      new ShardLease(path, worker_id, lease_ttl_ms, heartbeat_ms,
+                     info.adoptions + 1, info.error));
 }
 
-// ---- shard completion probe ----------------------------------------------
+// ---- shard completion / coverage probes ------------------------------------
+
+std::size_t shard_journal_coverage(const std::string& path, std::size_t runs) {
+  JournalContents contents;
+  try {
+    contents = read_journal(path);
+  } catch (const SimError&) {
+    return 0;  // missing, torn-header or corrupt: nothing recoverable yet
+  }
+  const std::size_t bound =
+      runs != 0 ? runs : static_cast<std::size_t>(contents.header.runs);
+  if (bound == 0) return 0;
+  std::vector<bool> done(bound, false);
+  std::size_t have = 0;
+  for (const JournalRecord& rec : contents.records) {
+    if (rec.index < bound && !done[rec.index]) {
+      done[rec.index] = true;
+      ++have;
+    }
+  }
+  return have;
+}
 
 bool shard_journal_complete(const std::string& path, std::size_t runs) {
   if (runs == 0) return true;  // an empty shard has nothing to record
@@ -252,7 +506,199 @@ bool shard_journal_complete(const std::string& path, std::size_t runs) {
   return have == runs;
 }
 
-// ---- worker loop ----------------------------------------------------------
+// ---- generic fleet worker loop ---------------------------------------------
+
+namespace {
+
+/// One lease-claimable work unit of a fleet: a campaign shard or a sweep
+/// cell. `opts` arrives fully prepared (journal path, identity tag, shard
+/// header fields); the loop only stamps the worker id and resume flag.
+struct FleetUnit {
+  std::size_t index = 0;
+  std::string name;  ///< for progress and error messages
+  std::string journal;
+  std::string lease;
+  std::string quarantine;
+  std::uint64_t base_seed = 0;  ///< first seed of this unit
+  std::size_t runs = 0;
+  CampaignOptions opts;
+  FaultCampaign::RunFn fn;
+};
+
+/// The self-healing claim/run/adopt/quarantine loop shared by
+/// run_sharded_campaign and run_sharded_sweep. Per pass over the units
+/// (starting at the worker's preferred one, then roaming): skip tombstoned
+/// and complete units, claim the rest, execute claimed ones as
+/// journaled+resumed campaigns, and classify every failure —
+///
+///   - LeaseLostError: the shard was adopted away (we stalled past the
+///     TTL); abort it, the adopter owns the journal now.
+///   - kJournalCorrupt: heal — delete the damaged journal and re-run the
+///     whole unit under the lease we hold (runs are pure functions of
+///     their seeds, so the fresh journal is bit-identical).
+///   - any other SimError (kIoError from journal/heartbeat I/O, config
+///     mismatches, unhealable corruption): record the error in the lease
+///     and abandon it — the lease goes stale, another worker adopts, and
+///     the adoption counter quarantines the unit once every adopter has
+///     failed. The worker stays alive for the rest of the fleet.
+///
+/// Exits when every unit is complete or quarantined (fleet_done), or when
+/// max_wait_ms expires while peers hold the remaining leases.
+ShardProgress run_fleet(const std::vector<FleetUnit>& units,
+                        const ShardOptions& shard,
+                        const std::string& worker_id) {
+  ShardProgress prog;
+  std::vector<char> quarantined(units.size(), 0);
+  const auto started = std::chrono::steady_clock::now();
+  const std::size_t prefer = units.empty() ? 0 : shard.shard_index % units.size();
+  for (;;) {
+    bool all_done = true;
+    bool progressed = false;
+    for (std::size_t k = 0; k < units.size(); ++k) {
+      // Start at our preferred unit and roam upward: a fleet spreads across
+      // the units instead of stampeding the same lease.
+      const std::size_t i = (prefer + k) % units.size();
+      const FleetUnit& unit = units[i];
+      if (unit.runs == 0) continue;  // empty unit: trivially complete
+      if (quarantined[i] || file_exists(unit.quarantine)) {
+        quarantined[i] = 1;  // terminal: skip without claiming
+        continue;
+      }
+      if (shard_journal_complete(unit.journal, unit.runs)) continue;
+      all_done = false;
+
+      std::unique_ptr<ShardLease> lease;
+      try {
+        lease = claim_shard_lease(unit.lease, worker_id, shard.lease_ttl_ms,
+                                  shard.heartbeat_ms, shard.max_adoptions);
+      } catch (const SimError& e) {
+        if (e.kind() == SimError::Kind::kLeaseConflict) {
+          // Transient by contract: a live peer owns the unit (or won an
+          // adoption race). The outer pass-and-poll loop is the backoff.
+          ++prog.lease_conflicts;
+          continue;
+        }
+        if (e.kind() == SimError::Kind::kShardQuarantined) {
+          // Terminal by contract — whether this claim performed the
+          // quarantine or merely found the tombstone, the unit is done
+          // failing and the fleet moves on.
+          quarantined[i] = 1;
+          progressed = true;
+          continue;
+        }
+        throw;
+      }
+
+      CampaignOptions co = unit.opts;
+      co.journal_path = unit.journal;
+      co.resume = true;  // adoption = resuming the dead worker's journal
+      co.worker_id = worker_id;
+
+      std::atomic<std::size_t> executed{0};
+      ShardLease* held = lease.get();
+      const FaultCampaign::RunFn wrapped =
+          [&unit, &executed, held](std::uint64_t seed) {
+            if (held->lost()) {
+              throw LeaseLostError(
+                  "shard lease '" + held->path() + "' was adopted away from '" +
+                  held->worker_id() +
+                  "' (heartbeat stalled past the TTL); aborting the shard — "
+                  "its adopter owns the journal now");
+            }
+            const std::string io = held->io_error();
+            if (!io.empty()) {
+              // Heartbeat I/O failure: surface it as the structured
+              // infrastructure error it is. kIoError is exempt from
+              // failed-run recording (FaultCampaign::run rethrows it), so
+              // it lands in the abandon path below, not in the statistics.
+              throw SimError(SimError::Kind::kIoError, io);
+            }
+            executed.fetch_add(1, std::memory_order_relaxed);
+            return unit.fn(seed);
+          };
+
+      const auto run_unit = [&] {
+        FaultCampaign campaign(wrapped);
+        campaign.run(unit.base_seed, unit.runs, co);
+      };
+      const auto abandon_with = [&](const SimError& e) {
+        // Permanent failure executing this unit. Record it and walk away:
+        // the lease goes stale with the error attached, adoption keeps the
+        // fleet trying, the adoption counter caps how long.
+        lease->record_error(e.what());
+        lease->abandon();
+        ++prog.shards_abandoned;
+      };
+
+      bool completed_unit = false;
+      try {
+        run_unit();
+        completed_unit = true;
+      } catch (const LeaseLostError&) {
+        ++prog.shards_lost;
+      } catch (const SimError& e) {
+        if (e.kind() == SimError::Kind::kJournalCorrupt) {
+          // The journal is damaged beyond the torn-tail tolerance (torn
+          // header, bit rot). We hold the exclusive lease and every run is
+          // a pure function of its seed, so re-running the whole unit
+          // reproduces bit-identical records: delete and start fresh.
+          std::remove(unit.journal.c_str());
+          try {
+            run_unit();
+            completed_unit = true;
+          } catch (const LeaseLostError&) {
+            ++prog.shards_lost;
+          } catch (const SimError& e2) {
+            abandon_with(e2);
+          }
+        } else {
+          abandon_with(e);
+        }
+      }
+      prog.runs_executed += executed.load(std::memory_order_relaxed);
+      if (completed_unit) {
+        ++prog.shards_run;
+        if (lease->adopted()) ++prog.shards_adopted;
+        progressed = true;
+        lease->release();
+      }
+    }
+
+    if (all_done) {
+      prog.fleet_done = true;
+      break;
+    }
+    if (!progressed) {
+      // Every remaining unit is leased by a live peer (or was lost to an
+      // adopter). Wait for the fleet — or for a peer's lease to go stale.
+      if (shard.max_wait_ms != 0) {
+        const auto waited =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        if (waited >= 0 &&
+            static_cast<std::uint64_t>(waited) >= shard.max_wait_ms) {
+          break;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(shard.poll_ms));
+    }
+  }
+  for (char q : quarantined) {
+    if (q) ++prog.shards_quarantined;
+  }
+  prog.campaign_complete = prog.fleet_done && prog.shards_quarantined == 0;
+  return prog;
+}
+
+std::string default_worker_id(const ShardOptions& shard) {
+  return !shard.worker_id.empty()
+             ? shard.worker_id
+             : "w" + std::to_string(shard.shard_index) + ".pid" +
+                   std::to_string(static_cast<long>(::getpid()));
+}
+
+}  // namespace
 
 ShardProgress run_sharded_campaign(const FaultCampaign::RunFn& fn,
                                    std::uint64_t base_seed,
@@ -271,119 +717,240 @@ ShardProgress run_sharded_campaign(const FaultCampaign::RunFn& fn,
                    "run_sharded_campaign: shard directory must be set");
   }
   std::filesystem::create_directories(shard.dir);
-  const std::string worker_id =
-      !shard.worker_id.empty()
-          ? shard.worker_id
-          : "w" + std::to_string(shard.shard_index) + ".pid" +
-                std::to_string(static_cast<long>(::getpid()));
 
-  ShardProgress prog;
-  const auto started = std::chrono::steady_clock::now();
-  for (;;) {
-    bool all_complete = true;
-    bool progressed = false;
-    for (std::size_t k = 0; k < shard.shard_count; ++k) {
-      // Start at our own shard and roam upward: a fleet spreads across the
-      // shards instead of stampeding the same lease.
-      const std::size_t i = (shard.shard_index + k) % shard.shard_count;
-      const ShardRange range = shard_range(i, shard.shard_count, total_runs);
-      if (range.empty()) continue;
-      const std::string jpath =
-          shard_journal_path(shard.dir, i, shard.shard_count);
-      if (shard_journal_complete(jpath, range.size())) continue;
-      all_complete = false;
+  std::vector<FleetUnit> units;
+  units.reserve(shard.shard_count);
+  for (std::size_t i = 0; i < shard.shard_count; ++i) {
+    const ShardRange range = shard_range(i, shard.shard_count, total_runs);
+    FleetUnit u;
+    u.index = i;
+    u.name = "shard " + std::to_string(i) + "/" +
+             std::to_string(shard.shard_count);
+    u.journal = shard_journal_path(shard.dir, i, shard.shard_count);
+    u.lease = shard_lease_path(shard.dir, i, shard.shard_count);
+    u.quarantine = shard_quarantine_path(shard.dir, i, shard.shard_count);
+    u.base_seed = base_seed + range.begin;
+    u.runs = range.size();
+    u.opts = opts;
+    u.opts.shard_index = i;
+    u.opts.shard_count = shard.shard_count;
+    u.opts.shard_begin = range.begin;
+    u.opts.total_runs = total_runs;
+    u.fn = fn;
+    units.push_back(std::move(u));
+  }
+  return run_fleet(units, shard, default_worker_id(shard));
+}
 
-      std::unique_ptr<ShardLease> lease;
-      try {
-        lease = claim_shard_lease(
-            shard_lease_path(shard.dir, i, shard.shard_count), worker_id,
-            shard.lease_ttl_ms, shard.heartbeat_ms);
-      } catch (const SimError& e) {
-        if (e.kind() == SimError::Kind::kLeaseConflict) {
-          // Transient by contract: a live peer owns the shard. Our outer
-          // pass-and-poll loop is the backoff.
-          ++prog.lease_conflicts;
-          continue;
-        }
-        throw;
+// ---- sharded sweeps --------------------------------------------------------
+
+namespace {
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/sweep.manifest";
+}
+
+constexpr const char* kManifestMagic = "scperf-sweep v1";
+
+std::string format_manifest(const SweepManifest& m) {
+  std::string s = std::string(kManifestMagic) + "\n";
+  s += "base_seed " + std::to_string(m.base_seed) + "\n";
+  s += "runs " + std::to_string(m.runs) + "\n";
+  s += "digest " + std::to_string(m.scenario_digest) + "\n";
+  s += "tag " + m.tag + "\n";
+  for (const std::string& name : m.mappings) s += "mapping " + name + "\n";
+  for (const std::string& name : m.scenarios) s += "scenario " + name + "\n";
+  return s;
+}
+
+[[noreturn]] void throw_manifest_corrupt(const std::string& path,
+                                         const std::string& why) {
+  throw SimError(SimError::Kind::kJournalCorrupt,
+                 "sweep manifest '" + path + "': " + why);
+}
+
+SweepManifest parse_manifest(const std::string& path,
+                             const std::string& content) {
+  SweepManifest m;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  bool saw_magic = false;
+  while (pos < content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    const std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line_no == 1) {
+      if (line != kManifestMagic) {
+        throw_manifest_corrupt(path, "bad magic line '" + line + "'");
       }
-
-      CampaignOptions co = opts;
-      co.journal_path = jpath;
-      co.resume = true;  // adoption = resuming the dead worker's journal
-      co.shard_index = i;
-      co.shard_count = shard.shard_count;
-      co.shard_begin = range.begin;
-      co.total_runs = total_runs;
-      co.worker_id = worker_id;
-
-      std::atomic<std::size_t> executed{0};
-      ShardLease* held = lease.get();
-      const FaultCampaign::RunFn wrapped =
-          [&fn, &executed, held](std::uint64_t seed) {
-            if (held->lost()) {
-              throw LeaseLostError(
-                  "shard lease '" + held->path() + "' was adopted away from '" +
-                  held->worker_id() +
-                  "' (heartbeat stalled past the TTL); aborting the shard — "
-                  "its adopter owns the journal now");
-            }
-            executed.fetch_add(1, std::memory_order_relaxed);
-            return fn(seed);
-          };
-
-      bool completed_shard = true;
-      try {
-        FaultCampaign campaign(wrapped);
-        campaign.run(base_seed + range.begin, range.size(), co);
-      } catch (const LeaseLostError&) {
-        completed_shard = false;
-        ++prog.shards_lost;
-      } catch (const SimError& e) {
-        if (e.kind() != SimError::Kind::kJournalCorrupt) throw;
-        // The dead worker's journal is damaged beyond the torn-tail
-        // tolerance (torn header, bit rot). We hold the exclusive lease and
-        // every run is a pure function of its seed, so re-running the whole
-        // shard reproduces bit-identical records: delete and start fresh.
-        std::remove(jpath.c_str());
-        FaultCampaign healed(wrapped);
-        healed.run(base_seed + range.begin, range.size(), co);
-      }
-      prog.runs_executed += executed.load(std::memory_order_relaxed);
-      if (completed_shard) {
-        ++prog.shards_run;
-        if (lease->adopted()) ++prog.shards_adopted;
-        progressed = true;
-      }
-      lease->release();
+      saw_magic = true;
+      continue;
     }
-
-    if (all_complete) {
-      prog.campaign_complete = true;
-      break;
-    }
-    if (!progressed) {
-      // Every remaining shard is leased by a live peer (or was lost to an
-      // adopter). Wait for the fleet — or for a peer's lease to go stale.
-      if (shard.max_wait_ms != 0) {
-        const auto waited =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                std::chrono::steady_clock::now() - started)
-                .count();
-        if (waited >= 0 &&
-            static_cast<std::uint64_t>(waited) >= shard.max_wait_ms) {
-          break;
-        }
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(shard.poll_ms));
+    if (line.compare(0, 10, "base_seed ") == 0) {
+      m.base_seed = std::strtoull(line.c_str() + 10, nullptr, 10);
+    } else if (line.compare(0, 5, "runs ") == 0) {
+      m.runs = static_cast<std::size_t>(
+          std::strtoull(line.c_str() + 5, nullptr, 10));
+    } else if (line.compare(0, 7, "digest ") == 0) {
+      m.scenario_digest = std::strtoull(line.c_str() + 7, nullptr, 10);
+    } else if (line.compare(0, 4, "tag ") == 0) {
+      m.tag = line.substr(4);
+    } else if (line == "tag") {
+      m.tag.clear();
+    } else if (line.compare(0, 8, "mapping ") == 0) {
+      m.mappings.push_back(line.substr(8));
+    } else if (line.compare(0, 9, "scenario ") == 0) {
+      m.scenarios.push_back(line.substr(9));
+    } else if (!line.empty()) {
+      throw_manifest_corrupt(path, "unrecognised line '" + line + "'");
     }
   }
-  return prog;
+  if (!saw_magic || m.mappings.empty() || m.scenarios.empty()) {
+    throw_manifest_corrupt(path, "missing magic, mappings or scenarios");
+  }
+  return m;
+}
+
+/// First-writer-wins manifest creation: the content is written to a private
+/// tmp file (fsynced) and link()ed into place — link fails with EEXIST if a
+/// manifest already exists, and because the final name appears atomically a
+/// losing worker can never read a torn manifest.
+bool create_manifest_file(const std::string& path, const std::string& content,
+                          const std::string& tmp_tag) {
+  const std::string tmp = path + ".tmp-" + tmp_tag;
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_io(tmp, "open");
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw_io(tmp, "write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw_io(tmp, "fsync");
+  }
+  ::close(fd);
+  const int rc = ::link(tmp.c_str(), path.c_str());
+  const int saved_errno = errno;
+  ::unlink(tmp.c_str());
+  if (rc == 0) return true;
+  if (saved_errno == EEXIST) return false;
+  errno = saved_errno;
+  throw_io(path, "link");
+}
+
+}  // namespace
+
+std::string SweepManifest::cell_tag(std::size_t cell) const {
+  const std::string& m = cell_mapping(cell);
+  const std::string& s = cell_scenario(cell);
+  // Same derivation as CampaignSweep::run's per-cell journal tag, so fleet
+  // cell journals pin the identity a single-process sweep would pin.
+  return tag.empty() ? m + "/" + s : tag + ":" + m + "/" + s;
+}
+
+SweepManifest read_sweep_manifest(const std::string& dir) {
+  const std::string path = manifest_path(dir);
+  if (!file_exists(path)) {
+    throw SimError(SimError::Kind::kMergeIncomplete,
+                   "sweep manifest '" + path +
+                       "' does not exist — no sweep fleet ever started in "
+                       "this directory");
+  }
+  return parse_manifest(path, read_whole_file(path));
+}
+
+ShardProgress run_sharded_sweep(const std::vector<std::string>& mappings,
+                                const std::vector<std::string>& scenarios,
+                                const CampaignSweep::Factory& factory,
+                                std::uint64_t base_seed, std::size_t n,
+                                const ShardOptions& shard,
+                                const CampaignOptions& opts) {
+  if (mappings.empty() || scenarios.empty()) {
+    throw SimError(SimError::Kind::kBadConfig,
+                   "run_sharded_sweep: the mapping x scenario grid must be "
+                   "non-empty");
+  }
+  if (!factory) {
+    throw SimError(SimError::Kind::kBadConfig,
+                   "run_sharded_sweep: no cell factory given");
+  }
+  if (shard.dir.empty()) {
+    throw SimError(SimError::Kind::kBadConfig,
+                   "run_sharded_sweep: shard directory must be set");
+  }
+  std::filesystem::create_directories(shard.dir);
+  const std::string worker_id = default_worker_id(shard);
+
+  // Pin (or verify) the grid identity before touching any cell: every
+  // worker of one fleet must agree on the grid, the seed, the run count and
+  // the fault-model digest, or its cell journals would silently disagree
+  // with everyone else's. Exactly one worker creates the manifest; the rest
+  // compare and refuse on any difference.
+  SweepManifest manifest;
+  manifest.base_seed = base_seed;
+  manifest.runs = n;
+  manifest.scenario_digest = opts.scenario_digest;
+  manifest.tag = opts.journal_tag;
+  manifest.mappings = mappings;
+  manifest.scenarios = scenarios;
+  if (!create_manifest_file(manifest_path(shard.dir),
+                            format_manifest(manifest), worker_id)) {
+    const SweepManifest pinned = read_sweep_manifest(shard.dir);
+    if (format_manifest(pinned) != format_manifest(manifest)) {
+      throw SimError(
+          SimError::Kind::kBadConfig,
+          "run_sharded_sweep: this worker's sweep (seed " +
+              std::to_string(base_seed) + ", " + std::to_string(n) +
+              " runs, " + std::to_string(mappings.size()) + "x" +
+              std::to_string(scenarios.size()) + " grid, digest " +
+              std::to_string(opts.scenario_digest) +
+              ") disagrees with the manifest pinned in '" + shard.dir +
+              "' — a worker from a different sweep would corrupt the fleet's "
+              "cells");
+    }
+  }
+
+  const std::size_t cells = manifest.cells();
+  std::vector<FleetUnit> units;
+  units.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    const std::string& m = manifest.cell_mapping(c);
+    const std::string& s = manifest.cell_scenario(c);
+    FleetUnit u;
+    u.index = c;
+    u.name = m + "/" + s;
+    u.journal = cell_journal_path(shard.dir, c, cells);
+    u.lease = cell_lease_path(shard.dir, c, cells);
+    u.quarantine = cell_quarantine_path(shard.dir, c, cells);
+    u.base_seed = base_seed;  // common random numbers across cells
+    u.runs = n;
+    u.opts = opts;
+    u.opts.journal_tag = manifest.cell_tag(c);
+    // Each cell is its own degenerate single-shard campaign: the cell
+    // identity lives in the tag (and the filename), not the shard fields.
+    u.opts.shard_index = 0;
+    u.opts.shard_count = 1;
+    u.opts.shard_begin = 0;
+    u.opts.total_runs = n;
+    u.fn = factory(m, s);
+    units.push_back(std::move(u));
+  }
+  return run_fleet(units, shard, worker_id);
 }
 
 // ---- merge ----------------------------------------------------------------
 
-MergedCampaign merge_journals(const std::vector<std::string>& paths) {
+MergedCampaign merge_journals(const std::vector<std::string>& paths,
+                              const MergeOptions& opts) {
   if (paths.empty()) {
     throw_merge_bad("no shard journals given");
   }
@@ -396,6 +963,8 @@ MergedCampaign merge_journals(const std::vector<std::string>& paths) {
   // Identity checks. Every journal must be the current format (read_journal
   // already rejected unknown futures; v1 parses but cannot merge), and all
   // must agree on the campaign: digest, tag, base seed, total runs, layout.
+  // These refusals hold in partial mode too — a mixed fleet is a *wrong*
+  // fleet, not an unfinished one.
   for (std::size_t s = 0; s < shards.size(); ++s) {
     const JournalHeader& h = shards[s].header;
     if (h.version != JournalHeader::kVersion) {
@@ -461,6 +1030,8 @@ MergedCampaign merge_journals(const std::vector<std::string>& paths) {
                       std::to_string(want.size()) + ")");
     }
     if (shard_seen[static_cast<std::size_t>(h.shard_index)]) {
+      // Ambiguity, not partial-ness: even a degraded merge cannot decide
+      // which duplicate journal to trust.
       throw_merge_incomplete("shard " + std::to_string(h.shard_index) +
                              " appears twice ('" + paths[s] +
                              "') — ambiguous which journal to trust");
@@ -469,10 +1040,16 @@ MergedCampaign merge_journals(const std::vector<std::string>& paths) {
   }
   for (std::size_t i = 0; i < out.shard_count; ++i) {
     if (!shard_seen[i] && !shard_range(i, out.shard_count, out.runs).empty()) {
-      throw_merge_incomplete("no journal for shard " + std::to_string(i) +
-                             " of " + std::to_string(out.shard_count) +
-                             " — a partial fleet merge would silently bias "
-                             "every campaign statistic");
+      if (!opts.allow_partial) {
+        throw_merge_incomplete(
+            "no journal for shard " + std::to_string(i) + " of " +
+            std::to_string(out.shard_count) +
+            " — a partial fleet merge would silently bias every campaign "
+            "statistic; finish the campaign, or merge with allow_partial "
+            "(--allow-partial) for an explicitly degraded report");
+      }
+      out.complete = false;
+      out.missing_shards.push_back(i);
     }
   }
 
@@ -506,18 +1083,34 @@ MergedCampaign merge_journals(const std::vector<std::string>& paths) {
     }
   }
   if (missing > 0) {
-    throw_merge_incomplete(
-        std::to_string(missing) + " of " + std::to_string(out.runs) +
-        " runs have no record (first missing global index " +
-        std::to_string(first_missing) +
-        ") — finish the campaign (workers re-claim incomplete shards) "
-        "before merging");
+    if (!opts.allow_partial) {
+      throw_merge_incomplete(
+          std::to_string(missing) + " of " + std::to_string(out.runs) +
+          " runs have no record (first missing global index " +
+          std::to_string(first_missing) +
+          ") — finish the campaign (workers re-claim incomplete shards) "
+          "before merging, or merge with allow_partial (--allow-partial) "
+          "for an explicitly degraded report");
+    }
+    // Degraded merge: compact the recorded runs, keeping global seed order
+    // so the result is deterministic for any worker interleaving.
+    out.complete = false;
+    out.missing_records = missing;
+    std::vector<CampaignRunResult> compact;
+    compact.reserve(out.runs - missing);
+    for (std::size_t i = 0; i < out.runs; ++i) {
+      if (done[i]) compact.push_back(std::move(out.results[i]));
+    }
+    out.results = std::move(compact);
   }
+  out.recorded_runs = out.results.size();
   return out;
 }
 
-MergedCampaign merge_shard_dir(const std::string& dir) {
+MergedCampaign merge_shard_dir(const std::string& dir,
+                               const MergeOptions& opts) {
   std::vector<std::pair<std::size_t, std::string>> found;
+  std::vector<std::pair<std::size_t, std::string>> tombs;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
     if (!entry.is_regular_file()) continue;
@@ -529,20 +1122,460 @@ MergedCampaign merge_shard_dir(const std::string& dir) {
         static_cast<std::size_t>(consumed) == name.size()) {
       found.emplace_back(shard, entry.path().string());
     }
+    consumed = 0;
+    if (std::sscanf(name.c_str(), "shard_%zu_of_%zu.quarantined%n", &shard,
+                    &count, &consumed) == 2 &&
+        static_cast<std::size_t>(consumed) == name.size()) {
+      tombs.emplace_back(shard, entry.path().string());
+    }
   }
   if (ec) {
     throw_merge_bad("cannot scan shard directory '" + dir +
                     "': " + ec.message());
   }
+  std::sort(tombs.begin(), tombs.end());
+  if (!tombs.empty() && !opts.allow_partial) {
+    throw_merge_incomplete(
+        "shard " + std::to_string(tombs[0].first) + " is quarantined ('" +
+        tombs[0].second + "') — a quarantined shard never completes; merge "
+        "with allow_partial (--allow-partial) for an explicitly degraded "
+        "report over the completed shards");
+  }
   if (found.empty()) {
-    throw_merge_incomplete("no shard journals (shard_<i>_of_<N>.journal) in '" +
-                           dir + "'");
+    std::string what = "no shard journals (shard_<i>_of_<N>.journal) in '" +
+                       dir + "'";
+    if (!tombs.empty()) {
+      what += " (" + std::to_string(tombs.size()) +
+              " quarantined tombstones, but nothing recorded to merge)";
+    }
+    throw_merge_incomplete(what);
   }
   std::sort(found.begin(), found.end());
   std::vector<std::string> paths;
   paths.reserve(found.size());
   for (auto& [shard, path] : found) paths.push_back(std::move(path));
-  return merge_journals(paths);
+  MergedCampaign out = merge_journals(paths, opts);
+  for (auto& [shard, path] : tombs) {
+    QuarantinedUnit q;
+    q.index = shard;
+    q.name = "shard " + std::to_string(shard) + "/" +
+             std::to_string(out.shard_count);
+    read_lease_info(path, &q.info);
+    out.quarantined.push_back(std::move(q));
+  }
+  if (!out.quarantined.empty()) out.complete = false;
+  return out;
+}
+
+// ---- sweep merge -----------------------------------------------------------
+
+const char* to_string(CellState s) {
+  switch (s) {
+    case CellState::kComplete: return "complete";
+    case CellState::kPartial: return "partial";
+    case CellState::kMissing: return "missing";
+    case CellState::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+MergedSweep merge_sweep_dir(const std::string& dir, const MergeOptions& opts) {
+  MergedSweep out;
+  out.manifest = read_sweep_manifest(dir);
+  const std::size_t cells = out.manifest.cells();
+  const std::size_t runs = out.manifest.runs;
+  out.cells.resize(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    MergedSweepCell& cell = out.cells[c];
+    cell.index = c;
+    cell.mapping = out.manifest.cell_mapping(c);
+    cell.scenario = out.manifest.cell_scenario(c);
+    cell.runs = runs;
+    const std::string jpath = cell_journal_path(dir, c, cells);
+
+    LeaseInfo qinfo;
+    const bool is_quarantined =
+        read_lease_info(cell_quarantine_path(dir, c, cells), &qinfo);
+    if (is_quarantined) {
+      cell.state = CellState::kQuarantined;
+      cell.error = quarantine_summary(qinfo);
+    }
+
+    if (!file_exists(jpath)) {
+      if (!is_quarantined) cell.state = CellState::kMissing;
+      continue;
+    }
+    JournalContents jc;
+    try {
+      jc = read_journal(jpath);
+    } catch (const SimError& e) {
+      // Unreadable journal: salvage nothing from this cell, but a merge
+      // probe must not abort the whole sweep over one torn header — the
+      // cell simply reports as partial (or stays quarantined) with the
+      // reader's complaint attached.
+      if (!is_quarantined) {
+        cell.state = CellState::kPartial;
+        cell.error = e.what();
+      }
+      continue;
+    }
+    // Identity refusals hold even in partial mode: a cell journal that
+    // disagrees with the manifest belongs to a different sweep.
+    const JournalHeader& h = jc.header;
+    if (h.version != JournalHeader::kVersion) {
+      throw SimError(
+          SimError::Kind::kShardVersionMismatch,
+          "sweep merge: cell journal '" + jpath + "' has format version " +
+              std::to_string(h.version) + " but the merge requires version " +
+              std::to_string(JournalHeader::kVersion));
+    }
+    if (h.base_seed != out.manifest.base_seed ||
+        h.runs != out.manifest.runs ||
+        h.scenario_digest != out.manifest.scenario_digest ||
+        h.tag != out.manifest.cell_tag(c)) {
+      throw_merge_bad(
+          "cell journal '" + jpath + "' (tag '" + h.tag + "', seed " +
+          std::to_string(h.base_seed) + ", " + std::to_string(h.runs) +
+          " runs, digest " + std::to_string(h.scenario_digest) +
+          ") disagrees with the sweep manifest (tag '" +
+          out.manifest.cell_tag(c) + "', seed " +
+          std::to_string(out.manifest.base_seed) + ", " +
+          std::to_string(out.manifest.runs) + " runs, digest " +
+          std::to_string(out.manifest.scenario_digest) +
+          ") — this journal belongs to a different sweep");
+    }
+    std::vector<CampaignRunResult> slots(runs);
+    std::vector<bool> done(runs, false);
+    for (JournalRecord& rec : jc.records) {
+      if (rec.index >= runs) continue;  // defensive; header pinned runs
+      if (!done[rec.index]) ++cell.records;
+      slots[rec.index] = std::move(rec.result);
+      done[rec.index] = true;
+    }
+    if (cell.records == runs) {
+      cell.results = std::move(slots);
+      if (!is_quarantined) cell.state = CellState::kComplete;
+    } else {
+      // Compact the recorded runs in seed order — deterministic for any
+      // worker interleaving, like the campaign-level partial merge.
+      cell.results.reserve(cell.records);
+      for (std::size_t i = 0; i < runs; ++i) {
+        if (done[i]) cell.results.push_back(std::move(slots[i]));
+      }
+      if (!is_quarantined) cell.state = CellState::kPartial;
+    }
+  }
+
+  std::size_t n_complete = 0;
+  for (const MergedSweepCell& cell : out.cells) {
+    if (cell.state == CellState::kComplete) ++n_complete;
+  }
+  out.complete = n_complete == cells;
+  if (!out.complete && !opts.allow_partial) {
+    for (const MergedSweepCell& cell : out.cells) {
+      if (cell.state == CellState::kComplete) continue;
+      throw_merge_incomplete(
+          "sweep cell " + cell.mapping + "/" + cell.scenario + " is " +
+          to_string(cell.state) + " (" + std::to_string(cell.records) +
+          " of " + std::to_string(cell.runs) + " runs recorded; " +
+          std::to_string(n_complete) + " of " + std::to_string(cells) +
+          " cells complete) — finish the fleet, or merge with allow_partial "
+          "(--allow-partial) for an explicitly degraded report");
+    }
+  }
+  return out;
+}
+
+std::size_t MergedSweep::complete_cells() const {
+  std::size_t n = 0;
+  for (const MergedSweepCell& c : cells) {
+    if (c.state == CellState::kComplete) ++n;
+  }
+  return n;
+}
+
+std::size_t MergedSweep::quarantined_cells() const {
+  std::size_t n = 0;
+  for (const MergedSweepCell& c : cells) {
+    if (c.state == CellState::kQuarantined) ++n;
+  }
+  return n;
+}
+
+CampaignSweep MergedSweep::to_sweep() const {
+  std::vector<CampaignSweep::Cell> out;
+  out.reserve(cells.size());
+  for (const MergedSweepCell& c : cells) {
+    if (c.state != CellState::kComplete) continue;
+    FaultCampaign campaign(c.results);
+    out.push_back(CampaignSweep::Cell{c.mapping, c.scenario,
+                                      campaign.report()});
+  }
+  return CampaignSweep(manifest.mappings, manifest.scenarios, std::move(out));
+}
+
+void MergedSweep::print(std::ostream& os) const {
+  if (!complete) {
+    std::size_t n_partial = 0, n_missing = 0;
+    for (const MergedSweepCell& c : cells) {
+      if (c.state == CellState::kPartial) ++n_partial;
+      if (c.state == CellState::kMissing) ++n_missing;
+    }
+    os << "DEGRADED sweep merge: " << complete_cells() << " of "
+       << cells.size() << " cells complete (" << n_partial << " partial, "
+       << n_missing << " missing, " << quarantined_cells()
+       << " quarantined) — statistics cover recorded runs only\n";
+  }
+  to_sweep().print(os);
+  if (complete) return;
+  for (const MergedSweepCell& c : cells) {
+    if (c.state == CellState::kComplete) continue;
+    os << "  cell " << c.mapping << "/" << c.scenario << ": ";
+    switch (c.state) {
+      case CellState::kPartial:
+        os << "partial — " << c.records << " of " << c.runs
+           << " runs recorded";
+        if (!c.error.empty()) os << " (" << c.error << ")";
+        break;
+      case CellState::kMissing:
+        os << "missing — no journal recorded";
+        break;
+      case CellState::kQuarantined:
+        os << (c.error.empty() ? "quarantined" : c.error);
+        if (c.records > 0) {
+          os << " (" << c.records << " of " << c.runs << " runs salvaged)";
+        }
+        break;
+      case CellState::kComplete:
+        break;
+    }
+    os << '\n';
+  }
+}
+
+void MergedSweep::write_csv(std::ostream& os) const {
+  if (complete) {
+    // Byte-identical to the uninterrupted single-process sweep CSV.
+    to_sweep().write_csv(os);
+    return;
+  }
+  // Degraded CSV: the normal columns over whatever each cell recorded, plus
+  // completeness columns so no downstream reader can mistake a partial grid
+  // for a finished one. Every cell appears, in grid order.
+  os << "mapping,scenario,runs,failed_runs,deadline_total,deadline_missed,"
+        "miss_rate,miss_rate_ci95,mean_makespan_ns,mean_energy_pj,"
+        "mean_fault_energy_pj,records,expected_runs,state\n";
+  for (const MergedSweepCell& c : cells) {
+    FaultCampaign campaign(c.results);
+    const CampaignReport rep = campaign.report();
+    os << c.mapping << ',' << c.scenario << ',' << rep.runs << ','
+       << rep.failed_runs << ',' << rep.deadline_total << ','
+       << rep.deadline_missed << ',' << rep.miss_rate << ','
+       << rep.miss_rate_ci95 << ',' << rep.makespan_ns.mean << ','
+       << rep.mean_energy_pj << ',' << rep.mean_fault_energy_pj << ','
+       << c.records << ',' << c.runs << ',' << to_string(c.state) << '\n';
+  }
+}
+
+// ---- read-only fleet status ------------------------------------------------
+
+const char* to_string(ShardStatusEntry::State s) {
+  switch (s) {
+    case ShardStatusEntry::State::kDone: return "done";
+    case ShardStatusEntry::State::kClaimed: return "claimed";
+    case ShardStatusEntry::State::kStale: return "stale";
+    case ShardStatusEntry::State::kQuarantined: return "quarantined";
+    case ShardStatusEntry::State::kUnclaimed: return "unclaimed";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Classifies one unit from its three files. Pure observation: stat() and
+/// read() only — a status probe must never perturb the fleet it watches.
+ShardStatusEntry unit_status(std::size_t index, const std::string& name,
+                             const std::string& journal,
+                             const std::string& lease,
+                             const std::string& quarantine, std::size_t runs,
+                             std::uint64_t lease_ttl_ms) {
+  ShardStatusEntry e;
+  e.index = index;
+  e.name = name;
+  e.runs = runs;
+  e.records = shard_journal_coverage(journal, runs);
+
+  LeaseInfo qinfo;
+  if (read_lease_info(quarantine, &qinfo)) {
+    e.state = ShardStatusEntry::State::kQuarantined;
+    e.owner = qinfo.owner;
+    e.adoptions = qinfo.adoptions;
+    e.error = qinfo.error;
+    return e;
+  }
+  if (runs > 0 && shard_journal_complete(journal, runs)) {
+    e.state = ShardStatusEntry::State::kDone;
+    return e;
+  }
+  LeaseInfo linfo;
+  std::uint64_t mtime = 0;
+  if (read_lease_info(lease, &linfo) && lease_mtime_ms(lease, &mtime)) {
+    const std::uint64_t now = wall_now_ms();
+    e.state = lease_alive(mtime, now, lease_ttl_ms)
+                  ? ShardStatusEntry::State::kClaimed
+                  : ShardStatusEntry::State::kStale;
+    e.owner = linfo.owner;
+    e.adoptions = linfo.adoptions;
+    e.error = linfo.error;
+    e.heartbeat_age_ms = static_cast<std::int64_t>(now) -
+                         static_cast<std::int64_t>(mtime);
+    return e;
+  }
+  e.state = runs == 0 ? ShardStatusEntry::State::kDone
+                      : ShardStatusEntry::State::kUnclaimed;
+  return e;
+}
+
+void tally(FleetStatus* st, const ShardStatusEntry& e) {
+  switch (e.state) {
+    case ShardStatusEntry::State::kDone: ++st->done; break;
+    case ShardStatusEntry::State::kClaimed: ++st->claimed; break;
+    case ShardStatusEntry::State::kStale: ++st->stale; break;
+    case ShardStatusEntry::State::kQuarantined: ++st->quarantined; break;
+    case ShardStatusEntry::State::kUnclaimed: ++st->unclaimed; break;
+  }
+  st->records += e.records;
+  st->runs += e.runs;
+}
+
+}  // namespace
+
+FleetStatus fleet_status(const std::string& dir, std::uint64_t lease_ttl_ms) {
+  // Derive the layout from whatever shard files exist: journals, leases and
+  // tombstones all carry "<i>_of_<N>" in their names.
+  std::size_t shard_count = 0;
+  bool mixed = false;
+  std::vector<std::string> journals;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    std::size_t shard = 0, count = 0;
+    int consumed = 0;
+    const bool is_journal =
+        std::sscanf(name.c_str(), "shard_%zu_of_%zu.journal%n", &shard,
+                    &count, &consumed) == 2 &&
+        static_cast<std::size_t>(consumed) == name.size();
+    consumed = 0;
+    const bool is_lease =
+        std::sscanf(name.c_str(), "shard_%zu_of_%zu.lease%n", &shard, &count,
+                    &consumed) == 2 &&
+        static_cast<std::size_t>(consumed) == name.size();
+    consumed = 0;
+    const bool is_tomb =
+        std::sscanf(name.c_str(), "shard_%zu_of_%zu.quarantined%n", &shard,
+                    &count, &consumed) == 2 &&
+        static_cast<std::size_t>(consumed) == name.size();
+    if (!is_journal && !is_lease && !is_tomb) continue;
+    if (shard_count == 0) shard_count = count;
+    if (count != shard_count) mixed = true;
+    if (is_journal) journals.push_back(entry.path().string());
+  }
+  if (ec) {
+    throw SimError(SimError::Kind::kBadConfig,
+                   "fleet status: cannot scan shard directory '" + dir +
+                       "': " + ec.message());
+  }
+  if (shard_count == 0) {
+    throw SimError(SimError::Kind::kMergeIncomplete,
+                   "fleet status: no shard files (shard_<i>_of_<N>.*) in '" +
+                       dir + "' — no fleet ever started here");
+  }
+  if (mixed) {
+    throw SimError(SimError::Kind::kBadConfig,
+                   "fleet status: '" + dir + "' holds files from differently "
+                   "sized fleets — mixed shard layouts cannot be summarised");
+  }
+
+  // The campaign's total run count lives in any journal header; until the
+  // first journal exists, per-shard run counts are simply unknown (0).
+  std::size_t total_runs = 0;
+  for (const std::string& j : journals) {
+    try {
+      total_runs = static_cast<std::size_t>(read_journal(j).header.total_runs);
+      break;
+    } catch (const SimError&) {
+      continue;  // torn or corrupt journal; try another shard's
+    }
+  }
+
+  FleetStatus st;
+  st.units = shard_count;
+  st.entries.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    const std::size_t runs =
+        total_runs != 0 ? shard_range(i, shard_count, total_runs).size() : 0;
+    ShardStatusEntry e = unit_status(
+        i, "shard " + std::to_string(i) + "/" + std::to_string(shard_count),
+        shard_journal_path(dir, i, shard_count),
+        shard_lease_path(dir, i, shard_count),
+        shard_quarantine_path(dir, i, shard_count), runs, lease_ttl_ms);
+    tally(&st, e);
+    st.entries.push_back(std::move(e));
+  }
+  return st;
+}
+
+FleetStatus sweep_fleet_status(const std::string& dir,
+                               std::uint64_t lease_ttl_ms) {
+  const SweepManifest manifest = read_sweep_manifest(dir);
+  const std::size_t cells = manifest.cells();
+  FleetStatus st;
+  st.units = cells;
+  st.entries.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    ShardStatusEntry e = unit_status(
+        c, manifest.cell_mapping(c) + "/" + manifest.cell_scenario(c),
+        cell_journal_path(dir, c, cells), cell_lease_path(dir, c, cells),
+        cell_quarantine_path(dir, c, cells), manifest.runs, lease_ttl_ms);
+    tally(&st, e);
+    st.entries.push_back(std::move(e));
+  }
+  return st;
+}
+
+void print_fleet_status(std::ostream& os, const FleetStatus& st) {
+  os << "fleet: " << st.units << " units — " << st.done << " done, "
+     << st.claimed << " claimed, " << st.stale << " stale, " << st.quarantined
+     << " quarantined, " << st.unclaimed << " unclaimed";
+  if (st.runs > 0) os << "; runs " << st.records << "/" << st.runs;
+  if (st.fleet_done()) os << " — fleet done";
+  os << '\n';
+  std::size_t name_w = 4;
+  for (const ShardStatusEntry& e : st.entries) {
+    name_w = std::max(name_w, e.name.size());
+  }
+  for (const ShardStatusEntry& e : st.entries) {
+    os << "  [" << std::setw(3) << e.index << "] " << std::left
+       << std::setw(static_cast<int>(name_w) + 2) << e.name << std::right
+       << std::setw(12) << to_string(e.state) << "  " << e.records << "/"
+       << e.runs;
+    if (e.state == ShardStatusEntry::State::kClaimed ||
+        e.state == ShardStatusEntry::State::kStale) {
+      os << "  owner '" << e.owner << "'";
+      if (e.heartbeat_age_ms >= 0) {
+        os << "  heartbeat " << e.heartbeat_age_ms << " ms ago";
+      } else {
+        os << "  heartbeat " << -e.heartbeat_age_ms
+           << " ms in the future (clock skew)";
+      }
+      if (e.adoptions > 0) os << "  adoptions " << e.adoptions;
+    } else if (e.state == ShardStatusEntry::State::kQuarantined) {
+      os << "  last owner '" << e.owner << "'  adoptions " << e.adoptions;
+    }
+    if (!e.error.empty()) os << "  error: " << e.error;
+    os << '\n';
+  }
 }
 
 }  // namespace sctrace

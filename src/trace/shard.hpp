@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -23,7 +24,11 @@ namespace sctrace {
 /// different machines on a shared filesystem — each claim disjoint shards,
 /// run them through the ordinary FaultCampaign journal machinery, and a
 /// final merge step folds the shard journals back into the byte-identical
-/// single-process report()/write_csv() output.
+/// single-process report()/write_csv() output. A CampaignSweep grid — the
+/// paper's mapping×scenario design-space exploration — fleets the same way
+/// with grid *cells* as the work units (run_sharded_sweep): one lease and
+/// one journal per cell, a manifest pinning the grid, and merge_sweep_dir
+/// folding the cells back into the byte-identical sweep output.
 ///
 /// Coordination is filesystem-only, built from two atomic primitives:
 ///
@@ -39,7 +44,23 @@ namespace sctrace {
 /// (SIGSTOP, VM freeze) may be adopted away and must treat its shard as
 /// lost — the heartbeat thread detects the takeover (the lease file no
 /// longer names this worker) and the next run raises LeaseLostError, which
-/// aborts the shard instead of recording anything further.
+/// aborts the shard instead of recording anything further. A heartbeat mtime
+/// in the *future* beyond the TTL (restored snapshot, clock skew) is treated
+/// as stale too — a lease no live worker is refreshing must never become
+/// unadoptable just because a clock once lied forward.
+///
+/// Self-healing: adoption alone cannot save a fleet from a *poison* shard —
+/// a seed that crashes every process that touches it, a full disk, a wedged
+/// host — because each adopter dies in turn and the fleet crash-loops
+/// forever. The lease file therefore records an adoption counter; a claim
+/// that would adopt a shard past `max_adoptions` instead *quarantines* it:
+/// the stale lease is atomically renamed to a `*.quarantined` tombstone
+/// (exactly one winner, like adoption) recording the last owner, the
+/// adoption count and the last recorded SimError. Quarantine is a
+/// first-class terminal state, not an error — workers skip quarantined
+/// shards, the fleet converges on everything else, `--allow-partial` merges
+/// produce a clearly-marked degraded report, and fleet_status() names the
+/// quarantined shard with its recorded error.
 ///
 /// Determinism makes adoption safe: every run is a pure function of its
 /// seed (DESIGN.md §7), and seeds are derived as base_seed + global index,
@@ -63,13 +84,45 @@ struct ShardRange {
 ShardRange shard_range(std::size_t shard, std::size_t shard_count,
                        std::size_t total_runs);
 
-/// Journal / lease filenames inside a shard directory. The names carry the
-/// shard count so a re-partitioned campaign (same dir, different N) cannot
-/// silently collide with the old layout's files.
+/// Journal / lease / quarantine filenames inside a shard directory. The
+/// names carry the shard count so a re-partitioned campaign (same dir,
+/// different N) cannot silently collide with the old layout's files.
 std::string shard_journal_path(const std::string& dir, std::size_t shard,
                                std::size_t shard_count);
 std::string shard_lease_path(const std::string& dir, std::size_t shard,
                              std::size_t shard_count);
+std::string shard_quarantine_path(const std::string& dir, std::size_t shard,
+                                  std::size_t shard_count);
+
+/// Cell filenames inside a sweep shard directory (run_sharded_sweep): cell
+/// index i = mapping_index * |scenarios| + scenario_index, in grid order.
+std::string cell_journal_path(const std::string& dir, std::size_t cell,
+                              std::size_t cell_count);
+std::string cell_lease_path(const std::string& dir, std::size_t cell,
+                            std::size_t cell_count);
+std::string cell_quarantine_path(const std::string& dir, std::size_t cell,
+                                 std::size_t cell_count);
+
+/// Parsed content of a lease file (or of the quarantine tombstone it became).
+/// The structured format is line-based:
+///
+///   owner <worker id>
+///   adoptions <count>
+///   error <last recorded SimError text, single sanitized line>   (optional)
+///
+/// A file whose first line does not start with "owner " is read as the bare
+/// worker id (the pre-counter format; also what a hand-written lease is),
+/// with zero adoptions and no recorded error.
+struct LeaseInfo {
+  std::string owner;
+  std::uint64_t adoptions = 0;
+  std::string error;  ///< last recorded permanent SimError ("" = none)
+};
+
+/// Reads and parses the lease (or tombstone) at `path`. Returns false when
+/// the file does not exist or cannot be read — never throws; status and
+/// merge probes must not fail on a racing unlink.
+bool read_lease_info(const std::string& path, LeaseInfo* out);
 
 /// Thrown between runs when the heartbeat observed this worker's lease
 /// taken over (the worker was paused past the TTL and a survivor adopted
@@ -83,7 +136,9 @@ struct LeaseLostError : std::runtime_error {
 /// One held shard lease: created by claim_shard_lease, heartbeaten by a
 /// background thread, released (file unlinked) on destruction — unless the
 /// lease was observed lost, in which case the file belongs to the adopter
-/// and is left alone.
+/// and is left alone, or the lease was abandon()ed, in which case it is
+/// deliberately left to go stale so another worker can adopt it (and the
+/// adoption counter can eventually quarantine it).
 class ShardLease {
  public:
   ~ShardLease();
@@ -93,61 +148,102 @@ class ShardLease {
   const std::string& path() const { return path_; }
   const std::string& worker_id() const { return worker_id_; }
   /// True when this claim stole a stale lease from a dead worker.
-  bool adopted() const { return adopted_; }
+  bool adopted() const { return adoptions_ > 0; }
+  /// How many times this shard has been adopted, this claim included.
+  std::uint64_t adoptions() const { return adoptions_; }
   /// True once the heartbeat saw another worker's id in the lease file.
   bool lost() const { return lost_.load(std::memory_order_acquire); }
+  /// Non-empty once the heartbeat failed to refresh the lease mtime: the
+  /// errno text of the failed utimensat (EIO, ENOSPC, ...). The fleet loop
+  /// surfaces it as a structured minisc::SimError(kIoError) between runs.
+  std::string io_error() const;
+
+  /// Rewrites the lease content with `error` recorded (atomic rename, so a
+  /// concurrent ownership probe reads either the old or the new content,
+  /// never a torn one). The error survives adoption: each adopter carries
+  /// it forward, and the quarantine tombstone records the last one.
+  void record_error(const std::string& error);
 
   /// Stops the heartbeat and unlinks the lease (no-op if lost or released).
   void release();
 
+  /// Stops the heartbeat but leaves the lease file in place: the shard is
+  /// deliberately surrendered to go stale, so any worker (this one included)
+  /// can adopt it after the TTL — and the adoption counter keeps counting
+  /// toward quarantine. This is how a worker walks away from a shard whose
+  /// execution failed permanently without crash-looping on it.
+  void abandon();
+
  private:
   friend std::unique_ptr<ShardLease> claim_shard_lease(
       const std::string& path, const std::string& worker_id,
-      std::uint64_t lease_ttl_ms, std::uint64_t heartbeat_ms);
+      std::uint64_t lease_ttl_ms, std::uint64_t heartbeat_ms,
+      std::uint64_t max_adoptions);
 
   ShardLease(std::string path, std::string worker_id, std::uint64_t ttl_ms,
-             std::uint64_t heartbeat_ms, bool adopted);
+             std::uint64_t heartbeat_ms, std::uint64_t adoptions,
+             std::string carried_error);
   void beat_loop(std::uint64_t heartbeat_ms);
+  void stop_beat();
 
   std::string path_;
   std::string worker_id_;
-  bool adopted_ = false;
+  std::uint64_t adoptions_ = 0;
+  std::string error_;  ///< recorded error content (carried or own)
   std::atomic<bool> lost_{false};
   bool released_ = false;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::string io_error_;
   std::thread beat_;
 };
 
 /// Claims the lease at `path` for `worker_id`: a fresh O_EXCL create if no
-/// lease exists, an adopt (rename-steal + re-create) if one exists but its
-/// heartbeat mtime is older than `lease_ttl_ms`. On success returns the
-/// held lease, heartbeating every `heartbeat_ms` (0 = ttl / 4).
+/// lease exists, an adopt (rename-steal + re-create with the adoption
+/// counter incremented) if one exists but its heartbeat mtime is outside
+/// the TTL window — older than `lease_ttl_ms`, or more than `lease_ttl_ms`
+/// in the future (clock skew: nobody is refreshing that mtime either).
+/// On success returns the held lease, heartbeating every `heartbeat_ms`
+/// (0 = ttl / 4).
 ///
-/// Throws minisc::SimError(kLeaseConflict) — classified *transient*
-/// (minisc::is_transient), so retry/backoff loops handle it like any other
-/// host-side hiccup — when the lease is held by a live worker or another
-/// claimer won the race; and kBadConfig for empty worker ids or I/O errors.
+/// Throws minisc::SimError:
+///   - kLeaseConflict (*transient*, see minisc::is_transient) when the lease
+///     is held by a live worker or another claimer won the race;
+///   - kShardQuarantined when the shard's quarantine tombstone exists, or
+///     when this claim would adopt the shard past `max_adoptions` — in which
+///     case this claim *performs* the quarantine first: the stale lease is
+///     atomically renamed to the tombstone (exactly one winner) and the
+///     tombstone records the last owner, adoption count and last recorded
+///     error. Terminal, not retryable: the fleet loop marks the shard
+///     quarantined and moves on. max_adoptions == 0 disables quarantine.
+///   - kBadConfig for empty worker ids; kIoError for I/O failures.
 std::unique_ptr<ShardLease> claim_shard_lease(const std::string& path,
                                               const std::string& worker_id,
                                               std::uint64_t lease_ttl_ms,
-                                              std::uint64_t heartbeat_ms = 0);
+                                              std::uint64_t heartbeat_ms = 0,
+                                              std::uint64_t max_adoptions = 0);
 
 /// True when the journal at `path` exists, parses, and holds a record for
 /// every one of the `runs` shard-local indices. Never throws: a missing,
 /// torn or corrupt journal is simply "not complete" (the claimer heals it).
 bool shard_journal_complete(const std::string& path, std::size_t runs);
 
-/// How one worker should participate in a sharded campaign.
+/// How many of the `runs` shard-local indices the journal at `path` holds a
+/// record for (0 for a missing, torn-header or corrupt journal). Never
+/// throws — this is the read-only progress probe behind fleet_status().
+std::size_t shard_journal_coverage(const std::string& path, std::size_t runs);
+
+/// How one worker should participate in a sharded campaign or sweep.
 struct ShardOptions {
   /// Shared journal directory (created if missing). All workers of one
   /// campaign must point at the same directory.
   std::string dir;
   /// This worker's identity: its *preferred first shard* (workers start
   /// claiming at their own index and roam upward, so a fleet spreads out
-  /// instead of stampeding shard 0) — "--shard i/N" on the benches.
+  /// instead of stampeding shard 0) — "--shard i/N" on the benches. For
+  /// sweeps this is the preferred first *cell* (taken modulo the grid size).
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
   /// Unique id for lease files; "" derives "w<shard_index>.pid<pid>".
@@ -157,6 +253,12 @@ struct ShardOptions {
   /// can suffer; below ~4 heartbeats invites spurious adoption.
   std::uint64_t lease_ttl_ms = 10000;
   std::uint64_t heartbeat_ms = 0;  ///< 0 = lease_ttl_ms / 4
+  /// Adoption cap: a shard adopted this many times whose next claim would
+  /// adopt it again is quarantined instead (see claim_shard_lease). One
+  /// poison seed can therefore crash-loop the fleet at most max_adoptions
+  /// times before being tombstoned out of the claim pass. 0 = unlimited
+  /// (the pre-quarantine behaviour: adopt forever).
+  std::uint64_t max_adoptions = 3;
   /// Delay between claim passes once every remaining shard is leased by a
   /// live peer (the waiting-for-the-fleet idle loop).
   std::uint64_t poll_ms = 200;
@@ -165,32 +267,118 @@ struct ShardOptions {
   std::uint64_t max_wait_ms = 0;
 };
 
-/// What one worker did. campaign_complete is the fleet-level statement:
-/// every shard's journal held all its records when this worker exited.
+/// What one worker did. fleet_done is the fleet-level statement: every
+/// shard was either complete or quarantined when this worker exited;
+/// campaign_complete is the stricter claim that every shard's journal held
+/// all its records (nothing quarantined, nothing missing).
 struct ShardProgress {
   std::size_t shards_run = 0;      ///< shards this worker completed
   std::size_t shards_adopted = 0;  ///< of those, stolen from dead workers
   std::size_t runs_executed = 0;   ///< seeds actually simulated here
   std::size_t lease_conflicts = 0; ///< claims lost to live peers (transient)
   std::size_t shards_lost = 0;     ///< own leases adopted away mid-shard
-  bool campaign_complete = false;
+  /// Shards observed in the quarantine terminal state (tombstone present),
+  /// whether this worker performed the quarantine or merely found it.
+  std::size_t shards_quarantined = 0;
+  /// Shards this worker walked away from after a permanent SimError escaped
+  /// their execution (journal I/O failure, unhealable corruption, config
+  /// mismatch): the error was recorded in the lease, the lease was left to
+  /// go stale, and the adoption counter will eventually quarantine the
+  /// shard if every adopter fails the same way.
+  std::size_t shards_abandoned = 0;
+  bool campaign_complete = false;  ///< all shards complete, none quarantined
+  bool fleet_done = false;         ///< all shards complete OR quarantined
 };
 
 /// Runs one worker of a sharded campaign: claims shards (preferred first,
 /// then roaming), executes each as a journaled+resumed FaultCampaign over
-/// its seed range, adopts stale leases of dead workers, and keeps polling
-/// until the whole campaign is complete (or max_wait_ms expires). The
-/// CampaignOptions journal fields are overwritten per shard; threads,
-/// retry, budgets, digest and tag apply as usual.
+/// its seed range, adopts stale leases of dead workers, skips quarantined
+/// shards, and keeps polling until every shard is complete or quarantined
+/// (or max_wait_ms expires). The CampaignOptions journal fields are
+/// overwritten per shard; threads, retry, budgets, digest and tag apply as
+/// usual.
 ShardProgress run_sharded_campaign(const FaultCampaign::RunFn& fn,
                                    std::uint64_t base_seed,
                                    std::size_t total_runs,
                                    const ShardOptions& shard,
                                    const CampaignOptions& opts = {});
 
+/// The grid identity of a sharded sweep, pinned in `<dir>/sweep.manifest` by
+/// the first worker (O_CREAT | O_EXCL — exactly one writer) and verified by
+/// everyone else: a worker whose grid, seed, run count, digest or tag
+/// disagrees with the manifest refuses to participate (kBadConfig) instead
+/// of silently corrupting cells, and merge/status re-derive cell names and
+/// grid order from it alone.
+struct SweepManifest {
+  std::uint64_t base_seed = 0;
+  std::size_t runs = 0;  ///< seeds per cell (common random numbers)
+  std::uint64_t scenario_digest = 0;
+  std::string tag;  ///< sweep-level tag prefix ("" = none)
+  std::vector<std::string> mappings;
+  std::vector<std::string> scenarios;
+
+  std::size_t cells() const { return mappings.size() * scenarios.size(); }
+  /// Grid-order cell identity: index = mapping_index * |scenarios| +
+  /// scenario_index, mirroring CampaignSweep::run's execution order.
+  const std::string& cell_mapping(std::size_t cell) const {
+    return mappings[cell / scenarios.size()];
+  }
+  const std::string& cell_scenario(std::size_t cell) const {
+    return scenarios[cell % scenarios.size()];
+  }
+  /// The journal tag of one cell — same derivation as CampaignSweep::run,
+  /// so cell journals carry the identity a single-process sweep would pin.
+  std::string cell_tag(std::size_t cell) const;
+};
+
+/// Reads `<dir>/sweep.manifest`. Throws minisc::SimError(kMergeIncomplete)
+/// when missing (no fleet ever started here) and kJournalCorrupt when
+/// malformed.
+SweepManifest read_sweep_manifest(const std::string& dir);
+
+/// Runs one worker of a sharded CampaignSweep: every (mapping, scenario)
+/// grid cell is an independent lease-claimable work unit — one lease + one
+/// journal per cell, claimed/adopted/quarantined exactly like campaign
+/// shards — so a fleet of workers spreads across the grid, survivors adopt
+/// the cells of dead workers, and a poison cell is quarantined after
+/// max_adoptions instead of crash-looping the fleet. All workers must agree
+/// on the grid (the manifest enforces it). shard.shard_index is the
+/// preferred starting cell; shard.shard_count is ignored (the grid defines
+/// the unit count).
+ShardProgress run_sharded_sweep(const std::vector<std::string>& mappings,
+                                const std::vector<std::string>& scenarios,
+                                const CampaignSweep::Factory& factory,
+                                std::uint64_t base_seed, std::size_t n,
+                                const ShardOptions& shard,
+                                const CampaignOptions& opts = {});
+
+/// How a merge should treat an unfinished fleet.
+struct MergeOptions {
+  /// False (default): a missing shard journal, a missing record or a
+  /// quarantined shard refuses with kMergeIncomplete — merging a partial
+  /// fleet silently would bias every statistic the campaign measures.
+  /// True: produce a clearly-marked degraded result instead — complete=false
+  /// with the missing/quarantined units listed, statistics over the recorded
+  /// runs only. Identity refusals (mixed digests, tags, layouts, format
+  /// versions) are never relaxed: those are wrong fleets, not partial ones.
+  bool allow_partial = false;
+};
+
+/// One quarantined work unit as a merge or status pass found it.
+struct QuarantinedUnit {
+  std::size_t index = 0;  ///< shard index, or cell index for sweeps
+  std::string name;       ///< "shard 2/4" or "mapping/scenario"
+  LeaseInfo info;         ///< last owner, adoption count, recorded error
+};
+
 /// A merged campaign: the global identity plus every run in global order.
 /// Feed `results` to FaultCampaign's results constructor for report() /
 /// write_csv() byte-identical to the uninterrupted single-process run.
+/// A partial merge (MergeOptions::allow_partial against an unfinished
+/// fleet) sets complete=false, lists what is missing or quarantined, and
+/// compacts `results` to the recorded runs in global order — deterministic
+/// for any thread count and any worker interleaving, because journals hold
+/// the same records no matter who wrote them.
 struct MergedCampaign {
   std::uint64_t base_seed = 0;  ///< campaign-wide (shard 0's first seed)
   std::size_t runs = 0;         ///< total across all shards
@@ -198,6 +386,13 @@ struct MergedCampaign {
   std::string tag;
   std::size_t shard_count = 0;
   std::vector<CampaignRunResult> results;
+
+  // ---- degraded-merge bookkeeping (allow_partial) ----
+  bool complete = true;
+  std::size_t recorded_runs = 0;  ///< results.size(); == runs when complete
+  std::size_t missing_records = 0;
+  std::vector<std::size_t> missing_shards;  ///< no journal at all
+  std::vector<QuarantinedUnit> quarantined;
 };
 
 /// Folds shard journals into one campaign. Refuses, with a structured
@@ -208,14 +403,130 @@ struct MergedCampaign {
 ///   - kBadConfig: mismatched scenario digests, tags, base seeds, total run
 ///     counts or shard layouts across the journals, or a journal whose
 ///     shard range disagrees with the canonical shard_range partition;
-///   - kMergeIncomplete: missing shard journals, duplicate shard indices,
-///     or a shard journal missing run records — merging a partial fleet
-///     would silently bias every statistic the campaign exists to measure.
-MergedCampaign merge_journals(const std::vector<std::string>& paths);
+///   - kMergeIncomplete (unless opts.allow_partial): missing shard journals,
+///     duplicate shard indices, or a shard journal missing run records —
+///     merging a partial fleet *silently* would bias every statistic the
+///     campaign exists to measure. allow_partial makes the bias explicit
+///     instead: see MergedCampaign's degraded-merge fields.
+MergedCampaign merge_journals(const std::vector<std::string>& paths,
+                              const MergeOptions& opts = {});
 
 /// merge_journals over the canonical shard journal filenames found in
-/// `dir`. The shard count is taken from the first journal's header, and
-/// every shard 0..count-1 must be present.
-MergedCampaign merge_shard_dir(const std::string& dir);
+/// `dir`, plus quarantine awareness: a `shard_<i>_of_<N>.quarantined`
+/// tombstone refuses a strict merge (kMergeIncomplete naming the shard and
+/// suggesting allow_partial) and is listed in MergedCampaign::quarantined
+/// by a partial one. The shard count is taken from the filenames, and every
+/// shard 0..count-1 must be present (or accounted for) unless allow_partial.
+MergedCampaign merge_shard_dir(const std::string& dir,
+                               const MergeOptions& opts = {});
+
+/// Terminal/progress state of one sweep cell as the merge found it.
+enum class CellState {
+  kComplete,     ///< journal holds every run record
+  kPartial,      ///< journal exists but records are missing (or unreadable)
+  kMissing,      ///< no journal at all
+  kQuarantined,  ///< tombstone present — terminal, never going to complete
+};
+
+const char* to_string(CellState s);
+
+/// One cell of a merged sweep.
+struct MergedSweepCell {
+  std::size_t index = 0;
+  std::string mapping;
+  std::string scenario;
+  CellState state = CellState::kMissing;
+  std::size_t records = 0;  ///< run records recovered
+  std::size_t runs = 0;     ///< records expected (manifest)
+  std::string error;        ///< quarantine record / read-failure note
+  /// Recovered results in seed order (complete and partial cells).
+  std::vector<CampaignRunResult> results;
+};
+
+/// A merged sweep: the manifest identity plus every cell in grid order.
+/// When complete, to_sweep()/print()/write_csv() are byte-identical to the
+/// uninterrupted single-process CampaignSweep. When degraded (allow_partial
+/// against an unfinished fleet), print() emits a clearly-marked DEGRADED
+/// banner, the grid with '-' holes, and one line per unfinished cell;
+/// write_csv() appends records/runs/state columns so no downstream reader
+/// can mistake a partial grid for a finished one.
+struct MergedSweep {
+  SweepManifest manifest;
+  std::vector<MergedSweepCell> cells;  ///< grid order, manifest.cells() long
+  bool complete = true;
+
+  std::size_t complete_cells() const;
+  std::size_t quarantined_cells() const;
+
+  /// Rebuilds the CampaignSweep (complete cells only; when complete==true
+  /// this is the byte-identical single-process sweep).
+  CampaignSweep to_sweep() const;
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+};
+
+/// Folds a sweep shard directory into one MergedSweep. Identity refusals
+/// (version, digest, tag, seed, run count vs the manifest) always throw;
+/// missing/partial/quarantined cells throw kMergeIncomplete unless
+/// opts.allow_partial, which returns the degraded MergedSweep instead.
+MergedSweep merge_sweep_dir(const std::string& dir,
+                            const MergeOptions& opts = {});
+
+// ---- read-only fleet status ------------------------------------------------
+
+/// State of one work unit (campaign shard or sweep cell), derived purely
+/// from reading the shard directory — stat() and read() only, no writes, no
+/// lease traffic: observing a fleet must never perturb it.
+struct ShardStatusEntry {
+  enum class State {
+    kDone,         ///< journal complete
+    kClaimed,      ///< live lease (heartbeat within TTL)
+    kStale,        ///< lease present but heartbeat outside TTL (dead worker)
+    kQuarantined,  ///< tombstone present — terminal
+    kUnclaimed,    ///< no lease, journal incomplete
+  };
+
+  std::size_t index = 0;
+  std::string name;  ///< "shard 0/4" or "mapping/scenario"
+  State state = State::kUnclaimed;
+  std::string owner;            ///< lease/tombstone owner ("" when none)
+  std::uint64_t adoptions = 0;  ///< adoption counter from the lease/tombstone
+  /// Milliseconds since the lease heartbeat; negative = mtime in the future
+  /// (clock skew). Meaningful for kClaimed/kStale only.
+  std::int64_t heartbeat_age_ms = 0;
+  std::size_t records = 0;  ///< journal records present
+  std::size_t runs = 0;     ///< records expected (0 = unknown)
+  std::string error;        ///< recorded/quarantined SimError text ("" = none)
+};
+
+const char* to_string(ShardStatusEntry::State s);
+
+/// Snapshot of a whole fleet.
+struct FleetStatus {
+  std::size_t units = 0;  ///< shard or cell count
+  std::size_t done = 0, claimed = 0, stale = 0, quarantined = 0, unclaimed = 0;
+  std::size_t records = 0, runs = 0;  ///< run-record totals across units
+  std::vector<ShardStatusEntry> entries;
+
+  /// The fleet-level terminal statement: every unit done or quarantined.
+  bool fleet_done() const { return done + quarantined == units && units > 0; }
+};
+
+/// Reads the status of a sharded-*campaign* directory: one entry per shard,
+/// layout derived from the shard filenames, run counts from the journal
+/// headers' total_runs. `lease_ttl_ms` classifies claimed vs stale (use the
+/// fleet's TTL). Throws kMergeIncomplete when the directory holds no shard
+/// files at all.
+FleetStatus fleet_status(const std::string& dir,
+                         std::uint64_t lease_ttl_ms = 10000);
+
+/// Reads the status of a sharded-*sweep* directory: one entry per grid
+/// cell, named mapping/scenario via the manifest.
+FleetStatus sweep_fleet_status(const std::string& dir,
+                               std::uint64_t lease_ttl_ms = 10000);
+
+/// Renders a FleetStatus: a one-line fleet summary, then one line per unit
+/// (state, progress, owner, heartbeat age, adoption count, recorded error).
+void print_fleet_status(std::ostream& os, const FleetStatus& status);
 
 }  // namespace sctrace

@@ -19,9 +19,11 @@
 
 #include <array>
 #include <atomic>
+#include <cerrno>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -680,8 +682,32 @@ TEST(CampaignRetry, ErrorClassificationMatchesContract) {
                        Kind::kSimTimeBudget, Kind::kNoSimulator,
                        Kind::kNoProcessContext, Kind::kBadConfig,
                        Kind::kJournalCorrupt, Kind::kShardVersionMismatch,
-                       Kind::kMergeIncomplete}) {
+                       Kind::kMergeIncomplete, Kind::kIoError,
+                       Kind::kShardQuarantined}) {
+    // kIoError deliberately included: a full disk or a dying device does
+    // not get better because a retry loop hammers it. kShardQuarantined is
+    // terminal by definition — the tombstone never goes away.
     EXPECT_FALSE(minisc::is_transient(k)) << minisc::to_string(k);
+  }
+}
+
+TEST(Journal, WriterIoFailureIsAStructuredIoError) {
+  // Creating a journal inside a directory that does not exist is the
+  // cheapest deterministic writer-side I/O failure: the open() itself
+  // fails, and the error must surface as kIoError with the errno text —
+  // not as a config complaint, and never as a retryable condition.
+  const std::string path = "/nonexistent-scperf-dir/sub/never.journal";
+  try {
+    JournalWriter w(path, JournalHeader{}, 1);
+    FAIL() << "expected SimError(kIoError)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimError::Kind::kIoError);
+    EXPECT_FALSE(e.transient());
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    // The errno text rides along so the operator knows WHAT failed on the
+    // host (ENOENT here; ENOSPC/EIO in the failures this path exists for).
+    EXPECT_NE(what.find(std::strerror(ENOENT)), std::string::npos) << what;
   }
 }
 

@@ -14,7 +14,14 @@
 //     is byte-identical to the uninterrupted single-process run for
 //     threads in {seq, 1, 8};
 //   - merge refuses missing shards, missing records, mixed fault-model
-//     digests and old format versions with structured SimErrors.
+//     digests and old format versions with structured SimErrors;
+//   - the lease carries an adoption counter across crash generations, a
+//     shard adopted past max_adoptions is quarantined by exactly one worker
+//     (atomic rename tombstone) and excluded from every later claim pass;
+//   - a lease whose mtime sits in the FUTURE beyond the TTL (clock skew)
+//     is stale too — a skewed worker cannot pin a shard forever;
+//   - --allow-partial merges compact recorded runs in global seed order, so
+//     the degraded CSV is byte-stable across threads in {seq, 1, 8}.
 
 #include "trace/shard.hpp"
 
@@ -98,6 +105,13 @@ void write_file(const std::string& path, const std::string& content) {
   out << content;
 }
 
+/// Structured v2 lease content, matching the writer's line format. Tests
+/// that want a legacy raw-content lease just write_file the bare owner.
+std::string format_lease_for_test(const std::string& owner,
+                                  std::uint64_t adoptions) {
+  return "owner " + owner + "\nadoptions " + std::to_string(adoptions) + "\n";
+}
+
 /// Backdates a file's mtime far enough that any sane TTL sees it stale.
 void make_stale(const std::string& path) {
   std::filesystem::last_write_time(
@@ -140,13 +154,18 @@ TEST(ShardLease, FreshClaimWritesTheWorkerIdAndReleaseUnlinks) {
   auto lease = claim_shard_lease(path, "alice", 10000);
   EXPECT_FALSE(lease->adopted());
   EXPECT_FALSE(lease->lost());
-  EXPECT_EQ(read_file(path), "alice");
+  LeaseInfo info;
+  ASSERT_TRUE(read_lease_info(path, &info));
+  EXPECT_EQ(info.owner, "alice");
+  EXPECT_EQ(info.adoptions, 0u);
+  EXPECT_TRUE(info.error.empty());
   lease->release();
   EXPECT_FALSE(std::filesystem::exists(path));
   // The shard is claimable again after a release.
   auto again = claim_shard_lease(path, "bob", 10000);
   EXPECT_FALSE(again->adopted());
-  EXPECT_EQ(read_file(path), "bob");
+  ASSERT_TRUE(read_lease_info(path, &info));
+  EXPECT_EQ(info.owner, "bob");
 }
 
 TEST(ShardLease, DoubleClaimIsATransientConflict) {
@@ -164,7 +183,9 @@ TEST(ShardLease, DoubleClaimIsATransientConflict) {
         << e.what();
   }
   // The conflict left the original claim untouched.
-  EXPECT_EQ(read_file(path), "alice");
+  LeaseInfo info;
+  ASSERT_TRUE(read_lease_info(path, &info));
+  EXPECT_EQ(info.owner, "alice");
   EXPECT_FALSE(lease->lost());
 }
 
@@ -185,7 +206,12 @@ TEST(ShardLease, StaleLeaseIsAdopted) {
   make_stale(path);
   auto lease = claim_shard_lease(path, "survivor", 10000);
   EXPECT_TRUE(lease->adopted());
-  EXPECT_EQ(read_file(path), "survivor");
+  LeaseInfo info;
+  ASSERT_TRUE(read_lease_info(path, &info));
+  EXPECT_EQ(info.owner, "survivor");
+  // The raw legacy lease counts as generation zero; adoption makes one.
+  EXPECT_EQ(info.adoptions, 1u);
+  EXPECT_EQ(lease->adoptions(), 1u);
   // No adoption tombstone left behind.
   for (const auto& e : std::filesystem::directory_iterator(dir.path)) {
     EXPECT_EQ(e.path().string(), path);
@@ -209,6 +235,188 @@ TEST(ShardLease, TakenOverLeaseIsObservedLostAndLeftToTheAdopter) {
   // A lost lease belongs to the adopter: release must not unlink it.
   EXPECT_TRUE(std::filesystem::exists(path));
   EXPECT_EQ(read_file(path), "adopter");
+}
+
+// ---- clock skew -----------------------------------------------------------
+
+/// Pushes a file's mtime into the future by `minutes`.
+void make_future(const std::string& path, int minutes) {
+  std::filesystem::last_write_time(
+      path, std::filesystem::last_write_time(path) +
+                std::chrono::minutes(minutes));
+}
+
+TEST(ShardLease, FutureMtimeBeyondTheTtlIsStaleToo) {
+  ScratchDir dir("skew_far");
+  const std::string path = shard_lease_path(dir.str(), 0, 1);
+  write_file(path, "skewed-worker");
+  // An hour in the future with a 10 s TTL: no honest heartbeat can have
+  // produced this mtime, so treating it as "alive until the wall clock
+  // catches up" would pin the shard for an hour. It must be adoptable NOW.
+  make_future(path, 60);
+  auto lease = claim_shard_lease(path, "survivor", 10000);
+  EXPECT_TRUE(lease->adopted());
+  LeaseInfo info;
+  ASSERT_TRUE(read_lease_info(path, &info));
+  EXPECT_EQ(info.owner, "survivor");
+}
+
+TEST(ShardLease, FutureMtimeWithinTheTtlIsAlive) {
+  ScratchDir dir("skew_near");
+  const std::string path = shard_lease_path(dir.str(), 0, 1);
+  write_file(path, "slightly-ahead");
+  // A few seconds ahead is ordinary NFS/VM clock slop around a live
+  // heartbeat: within the TTL window in either direction means alive.
+  std::filesystem::last_write_time(
+      path, std::filesystem::last_write_time(path) + std::chrono::seconds(5));
+  EXPECT_THROW(claim_shard_lease(path, "bob", 10000), SimError);
+  EXPECT_EQ(read_file(path), "slightly-ahead");
+}
+
+// ---- adoption counter & quarantine ----------------------------------------
+
+TEST(ShardLease, AdoptionCounterRoundTripsAcrossGenerations) {
+  ScratchDir dir("counter");
+  const std::string path = shard_lease_path(dir.str(), 0, 1);
+  // Generation 0: fresh claim, counter starts at zero...
+  claim_shard_lease(path, "gen0", 10000)->abandon();
+  // ...then every crash/adopt cycle increments it through the file.
+  for (std::uint64_t gen = 1; gen <= 4; ++gen) {
+    make_stale(path);
+    const std::string worker = "gen" + std::to_string(gen);
+    auto lease = claim_shard_lease(path, worker, 10000);
+    EXPECT_TRUE(lease->adopted());
+    EXPECT_EQ(lease->adoptions(), gen);
+    LeaseInfo info;
+    ASSERT_TRUE(read_lease_info(path, &info));
+    EXPECT_EQ(info.owner, worker);
+    EXPECT_EQ(info.adoptions, gen);
+    lease->abandon();  // die without releasing, like a crashed worker
+  }
+}
+
+TEST(ShardLease, RecordedErrorSurvivesAdoptionIntoTheTombstone) {
+  ScratchDir dir("carry_error");
+  const std::string path = shard_lease_path(dir.str(), 0, 1);
+  {
+    auto lease = claim_shard_lease(path, "first", 10000, 0,
+                                   /*max_adoptions=*/1);
+    lease->record_error("deadline config rejects scenario 'storm'");
+    lease->abandon();
+  }
+  make_stale(path);
+  // Adoption 1 carries the recorded error forward in the lease file...
+  {
+    auto lease = claim_shard_lease(path, "second", 10000, 0, 1);
+    EXPECT_EQ(lease->adoptions(), 1u);
+    LeaseInfo info;
+    ASSERT_TRUE(read_lease_info(path, &info));
+    EXPECT_EQ(info.error, "deadline config rejects scenario 'storm'");
+    lease->abandon();
+  }
+  make_stale(path);
+  // ...and a second adoption would exceed max_adoptions: the claimer
+  // quarantines instead, and the tombstone still names the original
+  // complaint.
+  try {
+    claim_shard_lease(path, "third", 10000, 0, 1);
+    FAIL() << "expected SimError(kShardQuarantined)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimError::Kind::kShardQuarantined);
+    EXPECT_FALSE(minisc::is_transient(e.kind()));
+    EXPECT_NE(std::string(e.what()).find("storm"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  const std::string qpath = shard_quarantine_path(dir.str(), 0, 1);
+  LeaseInfo qinfo;
+  ASSERT_TRUE(read_lease_info(qpath, &qinfo));
+  EXPECT_EQ(qinfo.owner, "second");
+  EXPECT_EQ(qinfo.adoptions, 1u);
+  EXPECT_EQ(qinfo.error, "deadline config rejects scenario 'storm'");
+}
+
+TEST(ShardLease, QuarantinedShardRefusesEveryLaterClaim) {
+  ScratchDir dir("quarantined_claim");
+  const std::string path = shard_lease_path(dir.str(), 0, 1);
+  write_file(path, "dead-worker");
+  make_stale(path);
+  // A raw legacy lease parses as zero prior adoptions, so with
+  // max_adoptions=1 the first stale claim still adopts normally.
+  auto lease = claim_shard_lease(path, "adopter", 10000, 0, 1);
+  EXPECT_TRUE(lease->adopted());
+  lease->abandon();
+  make_stale(path);
+  // Second stale claim hits the cap and quarantines.
+  EXPECT_THROW(claim_shard_lease(path, "late", 10000, 0, 1), SimError);
+  ASSERT_TRUE(
+      std::filesystem::exists(shard_quarantine_path(dir.str(), 0, 1)));
+  // From now on EVERY claim — fresh or stale path — sees the tombstone
+  // first and reports terminal kShardQuarantined, forever.
+  for (int i = 0; i < 2; ++i) {
+    try {
+      claim_shard_lease(path, "retrier", 10000, 0, 1);
+      FAIL() << "expected SimError(kShardQuarantined)";
+    } catch (const SimError& e) {
+      EXPECT_EQ(e.kind(), SimError::Kind::kShardQuarantined);
+    }
+  }
+}
+
+TEST(ShardLease, RacingAdoptersQuarantineExactlyOnce) {
+  ScratchDir dir("race_quarantine");
+  const std::string path = shard_lease_path(dir.str(), 0, 1);
+  const std::string qpath = shard_quarantine_path(dir.str(), 0, 1);
+  // Run the race several rounds: rename-based quarantine must pick exactly
+  // one winner each time, never two, never zero.
+  for (int round = 0; round < 10; ++round) {
+    std::filesystem::remove(path);
+    std::filesystem::remove(qpath);
+    write_file(path, format_lease_for_test("doomed", 3));
+    make_stale(path);
+    std::atomic<int> quarantined{0};
+    std::atomic<int> adopted{0};
+    std::vector<std::thread> racers;
+    for (int t = 0; t < 8; ++t) {
+      racers.emplace_back([&, t] {
+        try {
+          auto lease =
+              claim_shard_lease(path, "racer" + std::to_string(t), 10000,
+                                /*heartbeat_ms=*/0, /*max_adoptions=*/3);
+          ++adopted;  // would be a cap violation, counted and failed below
+        } catch (const SimError& e) {
+          if (e.kind() == SimError::Kind::kShardQuarantined) ++quarantined;
+          // kLeaseConflict losers are fine: they'd retry and then see the
+          // tombstone, which this loop also asserts.
+        }
+      });
+    }
+    for (auto& th : racers) th.join();
+    EXPECT_EQ(adopted.load(), 0) << "round " << round;
+    EXPECT_GE(quarantined.load(), 1) << "round " << round;
+    EXPECT_TRUE(std::filesystem::exists(qpath)) << "round " << round;
+    EXPECT_FALSE(std::filesystem::exists(path)) << "round " << round;
+    LeaseInfo qinfo;
+    ASSERT_TRUE(read_lease_info(qpath, &qinfo));
+    EXPECT_EQ(qinfo.owner, "doomed");
+    EXPECT_EQ(qinfo.adoptions, 3u);
+  }
+}
+
+TEST(ShardLease, MaxAdoptionsZeroMeansUnlimited) {
+  ScratchDir dir("unlimited");
+  const std::string path = shard_lease_path(dir.str(), 0, 1);
+  claim_shard_lease(path, "gen0", 10000, 0, /*max_adoptions=*/0)->abandon();
+  for (std::uint64_t gen = 1; gen <= 6; ++gen) {
+    make_stale(path);
+    auto lease = claim_shard_lease(path, "gen" + std::to_string(gen), 10000,
+                                   0, /*max_adoptions=*/0);
+    EXPECT_TRUE(lease->adopted());
+    EXPECT_EQ(lease->adoptions(), gen);
+    lease->abandon();
+  }
+  EXPECT_FALSE(
+      std::filesystem::exists(shard_quarantine_path(dir.str(), 0, 1)));
 }
 
 // ---- worker loop ----------------------------------------------------------
@@ -517,6 +725,185 @@ TEST(ShardMerge, EmptyDirectoryIsIncomplete) {
     FAIL() << "expected SimError(kMergeIncomplete)";
   } catch (const SimError& e) {
     EXPECT_EQ(e.kind(), SimError::Kind::kMergeIncomplete);
+  }
+}
+
+// ---- quarantine end-to-end ------------------------------------------------
+
+TEST(ShardWorker, PermanentInfraErrorConvergesToQuarantine) {
+  ScratchDir dir("infra_quarantine");
+  const std::uint64_t base = 40;
+  const std::size_t total = 6;  // 2 shards of 3
+  const ShardRange r1 = shard_range(1, 2, total);
+  // Shard 1's seeds hit a host whose disk is full: every attempt raises the
+  // structured infrastructure error. The worker records it on the lease,
+  // abandons, the (self-)adoption counter climbs, and the cap converts the
+  // poison shard into a tombstone instead of an infinite crash loop.
+  const auto fn = [&](std::uint64_t seed) -> CampaignRunResult {
+    if (seed >= base + r1.begin) {
+      throw SimError(SimError::Kind::kIoError,
+                     "append 'shard_1_of_2.journal': pwrite: "
+                     "No space left on device");
+    }
+    return synth_run(seed);
+  };
+  ShardOptions so;
+  so.dir = dir.str();
+  so.shard_index = 0;
+  so.shard_count = 2;
+  so.worker_id = "sick-host";
+  so.lease_ttl_ms = 200;  // short TTL so abandoned leases go stale fast
+  so.poll_ms = 20;
+  so.max_adoptions = 2;
+  const ShardProgress p = run_sharded_campaign(fn, base, total, so);
+  EXPECT_TRUE(p.fleet_done);
+  EXPECT_FALSE(p.campaign_complete);
+  EXPECT_EQ(p.shards_run, 1u);
+  EXPECT_EQ(p.shards_quarantined, 1u);
+  // Initial claim plus max_adoptions crash generations, all abandoned.
+  EXPECT_EQ(p.shards_abandoned, 3u);
+
+  const std::string qpath = shard_quarantine_path(dir.str(), 1, 2);
+  ASSERT_TRUE(std::filesystem::exists(qpath));
+  EXPECT_FALSE(
+      std::filesystem::exists(shard_lease_path(dir.str(), 1, 2)));
+  LeaseInfo qinfo;
+  ASSERT_TRUE(read_lease_info(qpath, &qinfo));
+  EXPECT_EQ(qinfo.adoptions, 2u);
+  EXPECT_NE(qinfo.error.find("No space left on device"), std::string::npos)
+      << qinfo.error;
+
+  // Strict merge refuses the tombstone by name, pointing at the escape
+  // hatch; --allow-partial yields the explicitly degraded campaign.
+  try {
+    merge_shard_dir(dir.str());
+    FAIL() << "expected SimError(kMergeIncomplete)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimError::Kind::kMergeIncomplete);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("quarantined"), std::string::npos) << what;
+    EXPECT_NE(what.find("--allow-partial"), std::string::npos) << what;
+  }
+  MergeOptions mo;
+  mo.allow_partial = true;
+  const MergedCampaign merged = merge_shard_dir(dir.str(), mo);
+  EXPECT_FALSE(merged.complete);
+  EXPECT_EQ(merged.recorded_runs, total - r1.size());
+  EXPECT_EQ(merged.missing_records, r1.size());
+  ASSERT_EQ(merged.quarantined.size(), 1u);
+  EXPECT_EQ(merged.quarantined[0].index, 1u);
+  EXPECT_NE(merged.quarantined[0].info.error.find("No space left"),
+            std::string::npos);
+}
+
+// ---- partial merges -------------------------------------------------------
+
+TEST(ShardMerge, AllowPartialCompactsMissingRecordsInSeedOrder) {
+  ScratchDir dir("partial_records");
+  const std::size_t total = 10;
+  const ShardRange r1 = shard_range(1, 2, total);
+  build_fleet(dir.str(), 0, total);
+  // Rewrite shard 1's journal missing its SECOND record: the hole is in the
+  // middle of the global seed sequence, so compaction order matters.
+  JournalHeader h;
+  h.base_seed = r1.begin;
+  h.runs = r1.size();
+  h.shard_index = 1;
+  h.shard_count = 2;
+  h.shard_begin = r1.begin;
+  h.total_runs = total;
+  {
+    JournalWriter w(shard_journal_path(dir.str(), 1, 2), h, 1);
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+      if (i == 1) continue;
+      w.append(i, synth_run(r1.begin + i));
+    }
+  }
+  MergeOptions mo;
+  mo.allow_partial = true;
+  const MergedCampaign merged = merge_shard_dir(dir.str(), mo);
+  EXPECT_FALSE(merged.complete);
+  EXPECT_EQ(merged.missing_records, 1u);
+  EXPECT_TRUE(merged.missing_shards.empty());
+  ASSERT_EQ(merged.recorded_runs, total - 1);
+  ASSERT_EQ(merged.results.size(), total - 1);
+  // Global seed order with exactly the one seed skipped.
+  std::size_t at = 0;
+  for (std::uint64_t seed = 0; seed < total; ++seed) {
+    if (seed == r1.begin + 1) continue;
+    EXPECT_EQ(merged.results[at].seed, seed);
+    ++at;
+  }
+}
+
+TEST(ShardMerge, AllowPartialListsAWholeMissingShard) {
+  ScratchDir dir("partial_shard");
+  const std::size_t total = 10;
+  const ShardRange r1 = shard_range(1, 2, total);
+  build_fleet(dir.str(), 0, total);
+  std::filesystem::remove(shard_journal_path(dir.str(), 1, 2));
+  MergeOptions mo;
+  mo.allow_partial = true;
+  const MergedCampaign merged = merge_shard_dir(dir.str(), mo);
+  EXPECT_FALSE(merged.complete);
+  ASSERT_EQ(merged.missing_shards.size(), 1u);
+  EXPECT_EQ(merged.missing_shards[0], 1u);
+  EXPECT_EQ(merged.missing_records, r1.size());
+  EXPECT_EQ(merged.recorded_runs, total - r1.size());
+}
+
+TEST(ShardMerge, QuarantineTombstoneDegradesEvenWithAFullJournal) {
+  ScratchDir dir("tomb_full");
+  const std::size_t total = 10;
+  build_fleet(dir.str(), 0, total);
+  // The shard was quarantined AFTER journaling everything (e.g. the fatal
+  // error hit on the final fsync). Every record is salvageable, but the
+  // campaign must still present as degraded: a tombstone is a statement
+  // that this fleet needed intervention, not a detail to launder away.
+  write_file(shard_quarantine_path(dir.str(), 1, 2),
+             format_lease_for_test("doomed", 3) +
+                 "error device reported EIO\nquarantined-by ci-worker\n");
+  MergeOptions mo;
+  mo.allow_partial = true;
+  const MergedCampaign merged = merge_shard_dir(dir.str(), mo);
+  EXPECT_FALSE(merged.complete);
+  EXPECT_EQ(merged.recorded_runs, total);
+  EXPECT_EQ(merged.missing_records, 0u);
+  ASSERT_EQ(merged.quarantined.size(), 1u);
+  EXPECT_EQ(merged.quarantined[0].index, 1u);
+  EXPECT_EQ(merged.quarantined[0].info.owner, "doomed");
+  EXPECT_EQ(merged.quarantined[0].info.adoptions, 3u);
+  EXPECT_EQ(merged.quarantined[0].info.error, "device reported EIO");
+}
+
+TEST(ShardMerge, PartialMergeIsByteStableAcrossThreads) {
+  const std::uint64_t base = 11;
+  const std::size_t total = 17;  // 3 shards: 6, 6, 5
+  std::string want;
+  for (const std::size_t threads :
+       {std::size_t{0}, std::size_t{1}, std::size_t{8}}) {
+    ScratchDir dir("partial_t" + std::to_string(threads));
+    ShardOptions so;
+    so.dir = dir.str();
+    so.shard_index = 0;
+    so.shard_count = 3;
+    so.worker_id = "builder";
+    CampaignOptions co;
+    co.threads = threads;
+    const ShardProgress p =
+        run_sharded_campaign(synth_fn(), base, total, so, co);
+    ASSERT_TRUE(p.campaign_complete);
+    std::filesystem::remove(shard_journal_path(dir.str(), 1, 3));
+    MergeOptions mo;
+    mo.allow_partial = true;
+    const MergedCampaign merged = merge_shard_dir(dir.str(), mo);
+    EXPECT_FALSE(merged.complete);
+    const std::string csv = csv_of(FaultCampaign(merged.results));
+    if (want.empty()) {
+      want = csv;
+    } else {
+      EXPECT_EQ(csv, want) << threads << " threads";
+    }
   }
 }
 
