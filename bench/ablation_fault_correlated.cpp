@@ -53,6 +53,18 @@
 //     marked DEGRADED report (exit code 3) instead of a refusal (exit 1).
 //   --sweep-status  read-only per-cell fleet progress (exit 0 once every
 //     cell is done or quarantined, 1 while the fleet is still working).
+//
+//   Sequential model checking — SPRT early stopping vs fixed-N:
+//   --smc  runs the burst cell under a Wald SPRT (H: P(run violates) <= 0.2
+//     at alpha = beta = 0.05), checks the verdict against the fixed-N
+//     reference campaign's empirical rate, checks the SPRT CSV is
+//     byte-identical across thread counts {seq, 1, 8}, records the verdict
+//     in fault_correlated_smc.journal, and demos adaptive importance
+//     sampling (pilot-tuned bias factor) feeding a weighted SPRT on the
+//     rare-loss cell. With --resume the journal's decision record replays
+//     without executing a single run ("smc journal resume: decision
+//     replayed"). At scale >= 100 the early-stop economics are asserted:
+//     SPRT samples <= 25% of the fixed-N budget.
 //   --poison-cell m/s  fault-injection for the fleet itself: any worker
 //     that executes a run of cell m/s raises SIGKILL — the crash-loop
 //     scenario the quarantine machinery exists for (CI uses this).
@@ -60,6 +72,7 @@
 #include <csignal>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -78,6 +91,7 @@
 #include "kernel/error.hpp"
 #include "trace/campaign.hpp"
 #include "trace/shard.hpp"
+#include "trace/smc.hpp"
 
 namespace {
 
@@ -301,6 +315,9 @@ std::uint64_t g_max_adoptions = 3;
 /// the deliberate poison cell for the quarantine crash-loop CI gate.
 std::string g_poison_cell;
 
+/// --smc: sequential model-checking mode (exclusive, like the fleet modes).
+bool g_smc = false;
+
 /// CSV artifacts land next to the binary (build/bench/), not in the
 /// caller's cwd, so runs never litter the source tree.
 std::string g_out_dir;
@@ -423,6 +440,178 @@ int run_sweep_merge() {
   }
 }
 
+// ---- sequential model checking mode ----------------------------------------
+
+/// --smc: SPRT early stopping against the fixed-N reference on the burst
+/// cell (clear margin: about half of all burst runs miss a deadline, far
+/// above the 0.2 threshold), thread-count byte-identity, a durable decision
+/// record, and the adaptive-IS + weighted-SPRT pipeline on the rare cell.
+int run_smc(int pct, std::uint64_t seed) {
+  const bool full = pct >= 100;
+  const std::size_t n_fix = scaled(150, pct);
+  const RunOptions opt = scenario_options("burst", /*split_cpu=*/false);
+  const auto fn = [opt](std::uint64_t s) { return run_stream(s, opt); };
+
+  // The burst cell's per-run violation rate sits near 0.53 (concealment
+  // hides isolated losses; only bursts get through), so a 0.2 threshold
+  // leaves the clear margin the early-stop economics check needs.
+  sctrace::SmcSpec spec;
+  spec.method = sctrace::SmcMethod::kSprt;
+  spec.threshold = 0.2;
+  spec.delta = 0.05;
+
+  // Fixed-N reference: the budget SPRT competes against, and the empirical
+  // violation rate its verdict must agree with.
+  sctrace::FaultCampaign ref(fn);
+  ref.run(seed, n_fix, g_campaign_opts);
+  std::size_t violations = 0;
+  for (const CampaignRunResult& r : ref.results()) {
+    if (sctrace::run_violates(r)) ++violations;
+  }
+  const double p_hat =
+      n_fix == 0 ? 0.0 : static_cast<double>(violations) / n_fix;
+  const bool fixed_accept = p_hat <= spec.threshold;
+  std::printf("== sequential model checking, burst cell ==\n");
+  std::printf("  fixed-N reference: %zu runs, violation rate %.3f -> "
+              "P(violation) %s %.2f\n",
+              n_fix, p_hat, fixed_accept ? "<=" : ">", spec.threshold);
+
+  // SPRT, byte-identical across thread counts: the stopping seed must be a
+  // pure function of the seed stream, never of worker interleaving.
+  std::string csv_ref;
+  sctrace::SmcVerdict verdict{};
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{8}}) {
+    sctrace::CampaignOptions co;
+    co.threads = threads;
+    co.smc = spec;
+    sctrace::FaultCampaign c(fn);
+    c.run(seed, n_fix, co);
+    std::ostringstream csv;
+    c.write_csv(csv);
+    if (csv_ref.empty()) {
+      csv_ref = csv.str();
+      if (c.smc_verdict() != nullptr) verdict = *c.smc_verdict();
+    } else if (csv.str() != csv_ref) {
+      std::printf("FAIL: %zu-thread SPRT CSV differs from sequential\n",
+                  threads);
+      return 1;
+    }
+  }
+  std::printf("  SPRT: verdict %s after %llu samples "
+              "(log-ratio %.3f vs bound %.3f) — CSV byte-identical "
+              "across {seq,1,8} threads\n",
+              sctrace::to_string(verdict.outcome),
+              static_cast<unsigned long long>(verdict.samples_used),
+              verdict.log_ratio, verdict.bound);
+  if (full) {
+    if (!verdict.decided()) {
+      std::printf("FAIL: SPRT undecided on a clear-margin cell\n");
+      return 1;
+    }
+    const bool sprt_accept = verdict.outcome == sctrace::SmcOutcome::kAccept;
+    if (sprt_accept != fixed_accept) {
+      std::printf("FAIL: SPRT verdict disagrees with the fixed-N rate\n");
+      return 1;
+    }
+    if (verdict.samples_used * 4 > n_fix) {
+      std::printf("FAIL: SPRT spent %llu samples, more than 25%% of the "
+                  "fixed-N budget (%zu)\n",
+                  static_cast<unsigned long long>(verdict.samples_used),
+                  n_fix);
+      return 1;
+    }
+    std::printf("  early-stop economics: %llu of %zu seeds (%.0f%%)\n",
+                static_cast<unsigned long long>(verdict.samples_used), n_fix,
+                100.0 * static_cast<double>(verdict.samples_used) /
+                    static_cast<double>(n_fix));
+  }
+
+  // Durable decision: journal the SPRT campaign; on --resume the decision
+  // record replays the verdict without executing a single run, and the CSV
+  // must stay byte-identical to the uninterrupted run.
+  std::atomic<std::size_t> calls{0};
+  sctrace::FaultCampaign jc([&](std::uint64_t s) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return fn(s);
+  });
+  sctrace::CampaignOptions jo;
+  jo.smc = spec;
+  jo.journal_path = out_path("fault_correlated_smc.journal");
+  jo.journal_tag = "correlated-smc";
+  jo.scenario_digest = scfault::config_digest(opt.cfg);
+  jo.resume = g_campaign_opts.resume;
+  jc.run(seed, n_fix, jo);
+  if (jo.resume && calls.load(std::memory_order_relaxed) == 0 &&
+      jc.smc_verdict() != nullptr && jc.smc_verdict()->decided()) {
+    std::printf("smc journal resume: decision replayed\n");
+  }
+  {
+    std::ostringstream csv;
+    jc.write_csv(csv);
+    if (csv.str() != csv_ref) {
+      std::printf("FAIL: journaled SPRT CSV differs from the in-memory run\n");
+      return 1;
+    }
+    std::ofstream out(out_path("fault_correlated_smc.csv"));
+    out << csv.str();
+  }
+  std::printf("  decision journaled -> %s (CSV -> %s)\n",
+              out_path("fault_correlated_smc.journal").c_str(),
+              out_path("fault_correlated_smc.csv").c_str());
+
+  // Adaptive importance sampling on the rare-loss cell: a pilot search
+  // tunes the bias factor to a healthy ESS fraction, then a weighted SPRT
+  // decides the nominal hypothesis from the biased runs.
+  RunOptions nom = scenario_options("iid", /*split_cpu=*/false);
+  nom.cfg.channel_faults.at(0) = iid_spec(kRareDrop);
+  nom.conceal = false;
+  const auto make_run =
+      [nom](double factor) -> sctrace::FaultCampaign::RunFn {
+    RunOptions biased = nom;
+    biased.cfg.channel_faults.at(0) = iid_spec(kRareDrop * factor);
+    biased.nominal = iid_spec(kRareDrop);
+    return [biased](std::uint64_t s) { return run_stream(s, biased); };
+  };
+  sctrace::AdaptiveBiasOptions ao;
+  ao.pilot_runs = 16;
+  ao.max_factor = kBiasFactor * 4.0;
+  const sctrace::AdaptiveBiasResult tuned =
+      sctrace::tune_bias_factor(make_run, seed + 7000, ao);
+  std::printf("== adaptive IS + weighted SPRT, %.2f%% nominal loss ==\n",
+              kRareDrop * 100.0);
+  std::printf("  pilot chose bias factor %.2f (ESS fraction %.2f, %zu pilot "
+              "seeds over %zu probes)\n",
+              tuned.factor, tuned.ess_fraction, tuned.pilot_runs,
+              tuned.trace.size());
+  sctrace::SmcSpec wspec;
+  wspec.method = sctrace::SmcMethod::kSprt;
+  wspec.threshold = 0.4;
+  wspec.delta = 0.1;
+  wspec.use_weights = true;
+  sctrace::CampaignOptions wo = g_campaign_opts;
+  wo.smc = wspec;
+  sctrace::FaultCampaign wc(make_run(tuned.factor));
+  wc.run(seed, n_fix, wo);
+  const sctrace::SmcVerdict* wv = wc.smc_verdict();
+  std::printf("  weighted SPRT: verdict %s after %llu samples "
+              "(estimate %.3f, ESS %.1f)\n",
+              sctrace::to_string(wv->outcome),
+              static_cast<unsigned long long>(wv->samples_used),
+              wv->estimate, wv->ess);
+
+  // Ablation K inputs: seeds spent per strategy on the same questions.
+  std::printf("  seeds used: fixed-N %zu, SPRT %llu, adaptive-IS pilot + "
+              "weighted SPRT %llu\n",
+              n_fix,
+              static_cast<unsigned long long>(verdict.samples_used),
+              static_cast<unsigned long long>(tuned.pilot_runs +
+                                              wv->samples_used));
+  std::printf("smc checks passed%s\n",
+              full ? "" : " (economics need scale >= 100)");
+  return 0;
+}
+
 int run_sweep_status() {
   try {
     const sctrace::FleetStatus st =
@@ -487,6 +676,8 @@ int main(int argc, char** argv) {
       g_max_adoptions = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--poison-cell") == 0 && i + 1 < argc) {
       g_poison_cell = argv[++i];
+    } else if (std::strcmp(argv[i], "--smc") == 0) {
+      g_smc = true;
     } else {
       pct = std::atoi(argv[i]);
     }
@@ -503,6 +694,7 @@ int main(int argc, char** argv) {
 
   if (g_sweep_status) return run_sweep_status();
   if (g_sweep_merge) return run_sweep_merge();
+  if (g_smc) return run_smc(pct, kSeed);
   if (g_sweep_shard) {
     // Sweep-fleet worker: grid cells as lease-claimable units. Gates are
     // skipped — the merged sweep CSV cmp against an uninterrupted run is

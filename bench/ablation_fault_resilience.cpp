@@ -55,6 +55,10 @@
 //               0 = adopt forever): a poison shard that crashes every
 //               worker that touches it is tombstoned out of the claim
 //               pass instead of crash-looping the fleet.
+//   --smc       additionally decides "P(run violates) <= 0.5" per design
+//               with a Wald SPRT and prints each verdict with the number
+//               of seeds it consumed (see ablation_fault_correlated --smc
+//               for the asserted sequential-model-checking gates).
 
 #include <algorithm>
 #include <chrono>
@@ -74,6 +78,7 @@
 #include "trace/campaign.hpp"
 #include "trace/journal.hpp"
 #include "trace/shard.hpp"
+#include "trace/smc.hpp"
 
 namespace {
 
@@ -257,6 +262,8 @@ CampaignRunResult run_pipeline(std::uint64_t seed, bool resilient) {
 
 sctrace::CampaignOptions g_campaign_opts;
 bool g_journal = false;
+/// --smc: also decide "P(run violates) <= 0.5" sequentially per design.
+bool g_smc = false;
 
 // Fleet mode: --shard i/N workers share g_shard_dir; --merge folds it back.
 bool g_shard = false;
@@ -410,6 +417,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       g_journal = true;  // --resume implies journalling
       g_campaign_opts.resume = true;
+    } else if (std::strcmp(argv[i], "--smc") == 0) {
+      g_smc = true;
     } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
       if (std::sscanf(argv[++i], "%zu/%zu", &g_shard_index, &g_shard_count) !=
               2 ||
@@ -515,6 +524,34 @@ int main(int argc, char** argv) {
 
   run_campaign("non_resilient", /*resilient=*/false, kBaseSeed, kRuns);
   run_campaign("resilient", /*resilient=*/true, kBaseSeed, kRuns);
+
+  if (g_smc) {
+    // Sequential verdict per design: does "P(run violates) <= 0.5" hold?
+    // Under this fault model nearly every run of either design misses at
+    // least one frame, so both verdicts reject — well before the seed
+    // budget runs out. Demonstration only; the correlated bench's --smc
+    // mode carries the asserted gates.
+    sctrace::SmcSpec spec;
+    spec.method = sctrace::SmcMethod::kSprt;
+    spec.threshold = 0.5;
+    spec.delta = 0.05;
+    sctrace::CampaignOptions o = g_campaign_opts;
+    o.smc = spec;
+    std::printf("\nsequential verdicts (H: P(run violates) <= %.2f):\n",
+                spec.threshold);
+    for (const bool resilient : {false, true}) {
+      sctrace::FaultCampaign c([resilient](std::uint64_t seed) {
+        return run_pipeline(seed, resilient);
+      });
+      c.run(kBaseSeed, kRuns, o);
+      const sctrace::SmcVerdict* v = c.smc_verdict();
+      std::printf("  %-13s %s after %llu of %zu seeds (estimate %.2f)\n",
+                  resilient ? "resilient" : "non_resilient",
+                  sctrace::to_string(v->outcome),
+                  static_cast<unsigned long long>(v->samples_used), kRuns,
+                  v->estimate);
+    }
+  }
 
   std::printf(
       "The strict in-order design discards everything after the first lost\n"

@@ -7,6 +7,8 @@
 #include <iomanip>
 #include <memory>
 #include <ostream>
+#include <set>
+#include <sstream>
 #include <thread>
 
 #include "core/pool.hpp"
@@ -19,6 +21,31 @@ namespace sctrace {
 double mean_ci95(const Summary& s) {
   if (s.count < 2) return 0.0;
   return 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+}
+
+bool run_violates(const CampaignRunResult& r) {
+  return !r.completed || r.deadline_missed > 0;
+}
+
+double CampaignReport::ess_fraction() const {
+  const std::size_t completed = completed_runs();
+  if (completed == 0) return 0.0;
+  return effective_sample_size / static_cast<double>(completed);
+}
+
+bool CampaignReport::low_ess() const {
+  return importance_sampled && completed_runs() > 0 && ess_fraction() < 0.1;
+}
+
+std::string CampaignReport::ess_warning() const {
+  if (!low_ess()) return {};
+  std::ostringstream os;
+  os << "ESS " << effective_sample_size << " is " << ess_fraction() * 100.0
+     << "% of " << completed_runs()
+     << " completed runs (below the 10% floor) — the importance bias "
+        "explores a different region than the nominal model; re-tune it "
+        "(adaptive pilot: sctrace::tune_bias_factor)";
+  return os.str();
 }
 
 namespace {
@@ -86,11 +113,14 @@ CampaignRunResult run_with_retry(const FaultCampaign::RunFn& fn,
 /// Resume against an existing non-empty journal: verify the header matches
 /// this campaign, replay every intact record bit-exactly into its result
 /// slot, and come back positioned to append. `todo` receives the indices
-/// still to run (ascending, like the dense path claims them).
+/// still to run (ascending, like the dense path claims them); `decision`
+/// receives the journal's sequential-verdict record, when present (the
+/// caller decides what it legalises).
 std::unique_ptr<JournalWriter> open_journal(
     std::uint64_t base_seed, std::size_t n, const CampaignOptions& opts,
     std::vector<CampaignRunResult>& results, std::size_t offset,
-    std::vector<std::size_t>& todo) {
+    std::vector<std::size_t>& todo,
+    std::optional<JournalDecision>& decision) {
   JournalHeader header;
   header.base_seed = base_seed;
   header.runs = n;
@@ -179,6 +209,7 @@ std::unique_ptr<JournalWriter> open_journal(
       for (std::size_t i = 0; i < n; ++i) {
         if (!done[i]) todo.push_back(i);
       }
+      decision = contents.decision;
       return std::make_unique<JournalWriter>(
           opts.journal_path, contents.valid_bytes, opts.journal_flush_every);
     }
@@ -199,6 +230,19 @@ void FaultCampaign::run(std::uint64_t base_seed, std::size_t n,
         "FaultCampaign::run on a merge-constructed campaign: it carries "
         "recorded results only, there is no run function to execute");
   }
+  const bool smc_on = opts.smc.engaged();
+  if (smc_on && opts.shard_count > 1) {
+    // The sequential decision consumes the campaign's runs in global seed
+    // order; a shard only sees its own slice, so its local decision would
+    // answer a different question than the campaign's. Shard a sweep
+    // instead — there every cell is a whole campaign and prunes honestly.
+    throw minisc::SimError(
+        minisc::SimError::Kind::kBadConfig,
+        "sequential model checking (CampaignOptions::smc) is incompatible "
+        "with sharded campaigns (shard_count > 1): the decision needs the "
+        "global seed order — shard a sweep instead, where each cell is a "
+        "whole campaign");
+  }
   // Pre-sized slot array: run i (seed base_seed + i) writes slot offset + i
   // and nothing else, so the assembled results — and therefore report() and
   // write_csv() — are identical whether the slots fill on one thread or
@@ -210,8 +254,63 @@ void FaultCampaign::run(std::uint64_t base_seed, std::size_t n,
 
   std::unique_ptr<JournalWriter> journal;
   std::vector<std::size_t> todo;
+  std::optional<JournalDecision> decision;
   if (!opts.journal_path.empty()) {
-    journal = open_journal(base_seed, n, opts, results_, offset, todo);
+    journal = open_journal(base_seed, n, opts, results_, offset, todo,
+                           decision);
+  }
+
+  if (decision) {
+    // The journal already carries a sequential verdict: the campaign it
+    // records chose to stop at `executed` runs. Resuming it re-runs nothing
+    // — the decision replays like the run records do, and the output is
+    // byte-identical to the run that wrote it.
+    if (!smc_on) {
+      throw minisc::SimError(
+          minisc::SimError::Kind::kBadConfig,
+          "campaign journal '" + opts.journal_path +
+              "' carries a sequential decision record, but this campaign "
+              "runs without an smc spec — an early-stopped journal can only "
+              "resume under sequential model checking (or be merged)");
+    }
+    if (!same_smc_spec(opts.smc, decision->spec)) {
+      throw minisc::SimError(
+          minisc::SimError::Kind::kBadConfig,
+          "campaign journal '" + opts.journal_path +
+              "' was decided under a different smc spec (threshold/delta/"
+              "alpha/beta/method/min_samples/window/use_weights differ) — "
+              "refusing to replay a verdict for a different hypothesis");
+    }
+    if (decision->executed > n) {
+      throw minisc::SimError(
+          minisc::SimError::Kind::kJournalCorrupt,
+          "campaign journal '" + opts.journal_path +
+              "': decision record covers " +
+              std::to_string(decision->executed) +
+              " executed runs, but the campaign has only " +
+              std::to_string(n));
+    }
+    for (const std::size_t i : todo) {
+      if (i < decision->executed) {
+        throw minisc::SimError(
+            minisc::SimError::Kind::kJournalCorrupt,
+            "campaign journal '" + opts.journal_path +
+                "': decision record covers " +
+                std::to_string(decision->executed) +
+                " executed runs but run " + std::to_string(i) +
+                " is missing — the decision should never have been durable "
+                "before its runs");
+      }
+    }
+    results_.resize(offset + decision->executed);
+    smc_spec_ = opts.smc;
+    smc_verdict_ = decision->verdict;
+    return;
+  }
+
+  if (smc_on) {
+    run_sequential(base_seed, n, opts, offset, journal.get(), todo);
+    return;
   }
 
   auto run_one = [&](std::size_t i) {
@@ -239,6 +338,77 @@ void FaultCampaign::run(std::uint64_t base_seed, std::size_t n,
   }
 }
 
+void FaultCampaign::run_sequential(std::uint64_t base_seed, std::size_t n,
+                                   const CampaignOptions& opts,
+                                   std::size_t offset, JournalWriter* journal,
+                                   const std::vector<std::size_t>& todo) {
+  // Which slots still need executing: everything, unless a journal replayed
+  // some (then only its missing indices).
+  std::vector<bool> done(n, journal != nullptr);
+  if (journal != nullptr) {
+    for (const std::size_t i : todo) done[i] = false;
+  }
+
+  auto run_one = [&](std::size_t i) {
+    const std::uint64_t seed = base_seed + i;
+    CampaignRunResult r = run_with_retry(fn_, seed, opts);
+    if (journal) journal->append(i, r);
+    results_[offset + i] = std::move(r);
+  };
+
+  std::unique_ptr<scperf::ThreadPool> pool;
+  if (opts.threads > 1) {
+    pool = std::make_unique<scperf::ThreadPool>(opts.threads);
+  }
+
+  // Windowed early stopping: issue seeds in windows of spec.window runs,
+  // then feed the completed slots to the tester *in seed order*. The window
+  // size — not the thread count — decides which seeds execute, and the feed
+  // order is the seed order, so the stopping point (and every byte derived
+  // from it) is identical for any thread count.
+  SequentialTester tester(opts.smc);
+  std::size_t executed = 0;  // window-aligned count of issued runs
+  std::size_t fed = 0;       // slots consumed by the tester, in seed order
+  while (executed < n && !tester.decided()) {
+    const std::size_t end = std::min(n, executed + opts.smc.window);
+    std::vector<std::size_t> batch;
+    batch.reserve(end - executed);
+    for (std::size_t i = executed; i < end; ++i) {
+      if (!done[i]) batch.push_back(i);
+    }
+    if (!batch.empty()) {
+      if (pool) {
+        pool->parallel_for(batch, opts.chunk, run_one);
+      } else {
+        for (const std::size_t i : batch) run_one(i);
+      }
+    }
+    executed = end;
+    while (fed < executed && !tester.decided()) {
+      const CampaignRunResult& r = results_[offset + fed];
+      tester.feed(run_violates(r), std::exp(r.log_weight));
+      ++fed;
+    }
+  }
+
+  // The window that crossed the boundary ran to completion (its runs are
+  // real data and stay in the results/CSV); everything after it was never
+  // issued, so the slot array shrinks to what actually executed.
+  results_.resize(offset + executed);
+  smc_spec_ = opts.smc;
+  smc_verdict_ = tester.verdict();
+  if (journal) {
+    // Always record the decision — an undecided budget exhaustion included:
+    // its presence is what marks the journal final (and resumable as a
+    // no-op) rather than interrupted.
+    JournalDecision d;
+    d.spec = opts.smc;
+    d.verdict = *smc_verdict_;
+    d.executed = executed;
+    journal->append_decision(d);
+  }
+}
+
 CampaignReport FaultCampaign::report() const {
   CampaignReport rep;
   rep.runs = results_.size();
@@ -247,8 +417,8 @@ CampaignReport FaultCampaign::report() const {
   // Importance-sampling accumulators over completed runs: the weighted
   // per-run miss fraction w_i * m_i, and the raw weights for ESS.
   std::vector<double> weighted_miss;
+  std::vector<double> weights;
   double sum_w = 0.0;
-  double sum_w2 = 0.0;
   bool any_weighted = false;
   for (const CampaignRunResult& r : results_) {
     rep.total_attempts += r.attempts;
@@ -276,8 +446,8 @@ CampaignReport FaultCampaign::report() const {
                   static_cast<double>(r.deadline_total)
             : 0.0;
     weighted_miss.push_back(w * m);
+    weights.push_back(w);
     sum_w += w;
-    sum_w2 += w * w;
   }
   const std::size_t completed = rep.runs - rep.failed_runs;
   if (completed > 0) {
@@ -309,7 +479,12 @@ CampaignReport FaultCampaign::report() const {
     rep.weighted_miss_rate = wm.mean;
     rep.weighted_miss_rate_ci95 = mean_ci95(wm);
     rep.mean_weight = sum_w / static_cast<double>(completed);
-    rep.effective_sample_size = sum_w2 > 0.0 ? sum_w * sum_w / sum_w2 : 0.0;
+    rep.effective_sample_size = kish_ess(weights);
+  }
+  if (smc_verdict_) {
+    rep.smc_engaged = true;
+    rep.smc_spec = smc_spec_;
+    rep.smc = *smc_verdict_;
   }
   return rep;
 }
@@ -326,22 +501,28 @@ void CampaignReport::print(std::ostream& os, bool with_cache_stats) const {
   os << "  deadlines: " << deadline_missed << "/" << deadline_total
      << " missed, miss rate " << miss_rate * 100.0 << "% +/- "
      << miss_rate_ci95 * 100.0 << "%\n";
+  if (smc_engaged) {
+    os << "  sequential: " << to_string(smc_spec.method) << " verdict "
+       << to_string(smc.outcome) << " after " << smc.samples_used
+       << " samples (H: P(violation) <= " << smc_spec.threshold << " +/- "
+       << smc_spec.delta << " at alpha=" << smc_spec.alpha
+       << " beta=" << smc_spec.beta << "; log-ratio " << smc.log_ratio
+       << " vs bound " << smc.bound << ", estimate " << smc.estimate
+       << ", ess " << smc.ess << ")\n";
+  }
   if (importance_sampled) {
     os << "  importance-sampled nominal miss rate: "
        << weighted_miss_rate * 100.0 << "% +/- "
        << weighted_miss_rate_ci95 * 100.0 << "%  (ESS "
        << effective_sample_size << " of " << runs - failed_runs
        << ", mean weight " << mean_weight << ")\n";
-    const std::size_t completed = runs - failed_runs;
-    if (completed > 0 &&
-        effective_sample_size < 0.1 * static_cast<double>(completed)) {
-      // First concrete step toward the ROADMAP adaptive-IS item: flag a
-      // badly matched bias loudly instead of letting a tiny ESS hide inside
-      // an apparently tight (but meaningless) confidence interval.
-      os << "  WARNING: ESS " << effective_sample_size << " is below 10% of "
-         << completed << " completed runs — the importance bias explores a "
-            "different region than the nominal model; re-tune the bias (see "
-            "ROADMAP: adaptive importance sampling)\n";
+    if (low_ess()) {
+      // A badly matched bias must be loud: a tiny ESS hides inside an
+      // apparently tight (but meaningless) confidence interval. The text is
+      // single-sourced in ess_warning() — the per-cell sweep warning formats
+      // through the same function, so the two surfaces cannot disagree
+      // about the achieved fraction.
+      os << "  WARNING: " << ess_warning() << "\n";
     }
   }
   if (makespan_ns.count > 0) {
@@ -366,6 +547,19 @@ void CampaignReport::print(std::ostream& os, bool with_cache_stats) const {
 }
 
 void FaultCampaign::write_csv(std::ostream& os, bool with_cache_stats) const {
+  if (smc_verdict_) {
+    // The verdict travels with the per-run data as a comment row, so a CSV
+    // with fewer rows than the nominal budget is self-explaining (and the
+    // byte-identity gates can compare it like any other output).
+    os << "# smc=" << to_string(smc_spec_.method) << " outcome="
+       << to_string(smc_verdict_->outcome) << " samples_used="
+       << smc_verdict_->samples_used << " executed=" << results_.size()
+       << " threshold=" << smc_spec_.threshold << " delta=" << smc_spec_.delta
+       << " alpha=" << smc_spec_.alpha << " beta=" << smc_spec_.beta
+       << " log_ratio=" << smc_verdict_->log_ratio << " bound="
+       << smc_verdict_->bound << " estimate=" << smc_verdict_->estimate
+       << " ess=" << smc_verdict_->ess << '\n';
+  }
   os << "seed,completed,makespan_ns,deadline_total,deadline_missed,"
         "faults_injected,recovery_samples,mean_recovery_ns,log_weight,"
         "weight,energy_pj,fault_energy_pj,value_hash,attempts";
@@ -448,7 +642,12 @@ const CampaignReport* CampaignSweep::cell(const std::string& mapping,
 
 void CampaignSweep::print(std::ostream& os) const {
   // Miss-rate grid, mappings down, scenarios across. Column width is sized
-  // for "100.00%" plus breathing room.
+  // for "100.00%" plus breathing room. When any cell ran under sequential
+  // model checking the numbers carry verdict markers — accept ✓, reject ✗,
+  // undecided ~ — so the pruning is visible at a glance; smc-free sweeps
+  // keep the historical grid bytes exactly.
+  bool any_smc = false;
+  for (const Cell& c : cells_) any_smc = any_smc || c.report.smc_engaged;
   std::size_t name_w = 7;  // "mapping"
   for (const std::string& m : mappings_) name_w = std::max(name_w, m.size());
   os << "deadline miss rate (%), " << mappings_.size() << " mappings x "
@@ -468,8 +667,33 @@ void CampaignSweep::print(std::ostream& os) const {
       const int w = std::max<int>(10, static_cast<int>(s.size()) + 2);
       if (rep == nullptr) {
         os << std::right << std::setw(w) << "-";
-      } else {
+      } else if (!any_smc) {
         os << std::right << std::setw(w) << rep->miss_rate * 100.0;
+      } else {
+        // Verdict markers are multi-byte UTF-8 but single-column glyphs;
+        // setw counts bytes, so the padding is done by hand in display
+        // columns (number + 2: a space and the marker).
+        std::ostringstream num;
+        num << std::fixed << std::setprecision(2) << rep->miss_rate * 100.0;
+        const char* mark = "  ";
+        if (rep->smc_engaged) {
+          switch (rep->smc.outcome) {
+            case SmcOutcome::kAccept:
+              mark = " ✓";
+              break;
+            case SmcOutcome::kReject:
+              mark = " ✗";
+              break;
+            case SmcOutcome::kUndecided:
+              mark = " ~";
+              break;
+          }
+        }
+        for (int pad = w - static_cast<int>(num.str().size()) - 2; pad > 0;
+             --pad) {
+          os << ' ';
+        }
+        os << num.str() << mark;
       }
     }
     os << '\n';
@@ -478,25 +702,30 @@ void CampaignSweep::print(std::ostream& os) const {
   // Degenerate-weight cells: the single-campaign Report::print warning,
   // surfaced at the grid level so a sharded sweep cannot hide a collapsed
   // importance bias inside one quiet cell. Weight-free sweeps print nothing
-  // here, keeping the historical grid bytes.
+  // here, keeping the historical grid bytes. The text is single-sourced in
+  // CampaignReport::ess_warning (shared with Report::print), and the seen-
+  // set deduplicates a cell that appears twice in cells_ (merge paths) —
+  // one warning per (mapping, scenario), never a double report.
+  std::set<std::pair<std::string, std::string>> warned;
   for (const Cell& c : cells_) {
-    const CampaignReport& r = c.report;
-    const std::size_t completed = r.runs - r.failed_runs;
-    if (r.importance_sampled && completed > 0 &&
-        r.effective_sample_size < 0.1 * static_cast<double>(completed)) {
-      os << "WARNING: cell " << c.mapping << "/" << c.scenario << ": ESS "
-         << r.effective_sample_size << " is below 10% of " << completed
-         << " completed runs — the importance bias explores a different "
-            "region than the nominal model in this cell; re-tune it (see "
-            "ROADMAP: adaptive importance sampling)\n";
-    }
+    if (!c.report.low_ess()) continue;
+    if (!warned.emplace(c.mapping, c.scenario).second) continue;
+    os << "WARNING: cell " << c.mapping << "/" << c.scenario << ": "
+       << c.report.ess_warning() << "\n";
   }
 }
 
 void CampaignSweep::write_csv(std::ostream& os, bool with_cache_stats) const {
+  // The smc columns appear only when some cell actually ran under a
+  // sequential spec, so smc-free sweeps keep their historical CSV bytes.
+  bool any_smc = false;
+  for (const Cell& c : cells_) any_smc = any_smc || c.report.smc_engaged;
   os << "mapping,scenario,runs,failed_runs,deadline_total,deadline_missed,"
         "miss_rate,miss_rate_ci95,mean_makespan_ns,mean_energy_pj,"
         "mean_fault_energy_pj";
+  if (any_smc) {
+    os << ",smc_outcome,smc_samples_used";
+  }
   if (with_cache_stats) {
     os << ",cache_hits,cache_misses,cache_bypassed,cache_cycles_saved";
   }
@@ -507,6 +736,14 @@ void CampaignSweep::write_csv(std::ostream& os, bool with_cache_stats) const {
        << c.report.deadline_missed << ',' << c.report.miss_rate << ','
        << c.report.miss_rate_ci95 << ',' << c.report.makespan_ns.mean << ','
        << c.report.mean_energy_pj << ',' << c.report.mean_fault_energy_pj;
+    if (any_smc) {
+      if (c.report.smc_engaged) {
+        os << ',' << to_string(c.report.smc.outcome) << ','
+           << c.report.smc.samples_used;
+      } else {
+        os << ",-,0";
+      }
+    }
     if (with_cache_stats) {
       os << ',' << c.report.cache_hits << ',' << c.report.cache_misses << ','
          << c.report.cache_bypassed << ',' << c.report.cache_cycles_saved;

@@ -3,10 +3,12 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "kernel/time.hpp"
+#include "trace/smc.hpp"
 #include "trace/stats.hpp"
 
 namespace sctrace {
@@ -126,10 +128,38 @@ struct CampaignReport {
   std::uint64_t cache_bypassed = 0;
   double cache_cycles_saved = 0.0;
 
+  // ---- sequential model checking (populated when the campaign ran with an
+  //      engaged CampaignOptions::smc spec, or via set_smc_verdict on the
+  //      merge path) ----
+
+  /// True when a sequential verdict accompanies this report; print() then
+  /// appends the smc lines (historical bytes are preserved otherwise).
+  bool smc_engaged = false;
+  SmcSpec smc_spec;
+  SmcVerdict smc;
+
+  std::size_t completed_runs() const { return runs - failed_runs; }
+  /// Achieved ESS fraction effective_sample_size / completed_runs (0 when
+  /// nothing completed). The adaptive-IS pilot targets this quantity.
+  double ess_fraction() const;
+  /// True when importance sampling collapsed: ESS below 10% of the
+  /// completed runs.
+  bool low_ess() const;
+  /// The shared low-ESS warning text, carrying the achieved ESS fraction;
+  /// empty when !low_ess(). Both print() and the per-cell sweep warning
+  /// format through this one function, so the two surfaces can never
+  /// drift apart (or double-report with different numbers).
+  std::string ess_warning() const;
+
   /// with_cache_stats appends the replay-cache totals; the default output is
   /// byte-identical to pre-cache builds.
   void print(std::ostream& os, bool with_cache_stats = false) const;
 };
+
+/// The Bernoulli observation the campaign-level sequential test consumes:
+/// a run violates its property when it failed outright (watchdog trip,
+/// unrecovered error) or missed at least one deadline.
+bool run_violates(const CampaignRunResult& r);
 
 /// Half-width of the normal-approximation 95% CI of a sample mean.
 double mean_ci95(const Summary& s);
@@ -202,6 +232,23 @@ struct CampaignOptions {
   /// SimError (transient, hence retried) and becomes a failed-with-timeout
   /// record instead of stalling the campaign. 0 = unlimited.
   std::uint64_t run_wall_clock_ms = 0;
+
+  // ---- sequential model checking (trace/smc.hpp) ----
+
+  /// Engaged (smc.engaged(), i.e. delta > 0) turns the n passed to run()
+  /// into a *budget*: seeds are issued in windows of smc.window runs and
+  /// the sequential test is evaluated between windows in seed order over
+  /// the completed slots — so the campaign stops issuing seeds as soon as
+  /// the verdict "P(run violates) <= threshold" is decided, with the
+  /// stopping seed and every report/CSV byte identical for any thread
+  /// count. The verdict lands in report() (smc fields), in write_csv()
+  /// (a leading '#' summary line) and — when journaling — in a journal
+  /// decision record that makes the early-stopped journal resumable (a
+  /// resume replays the decision and runs nothing) and mergeable.
+  /// Incompatible with sharded campaigns (shard_count > 1): the sequential
+  /// decision needs the campaign's global seed order; shard a sweep
+  /// instead, where every cell is a whole campaign.
+  SmcSpec smc;
 };
 
 /// Resilience-campaign driver: runs one seeded experiment N times and
@@ -259,16 +306,83 @@ class FaultCampaign {
   const std::vector<CampaignRunResult>& results() const { return results_; }
   CampaignReport report() const;
 
+  /// The sequential verdict of the last run() with an engaged smc spec
+  /// (nullptr otherwise). report() carries a copy in its smc fields.
+  const SmcVerdict* smc_verdict() const {
+    return smc_verdict_ ? &*smc_verdict_ : nullptr;
+  }
+  const SmcSpec& smc_spec() const { return smc_spec_; }
+
+  /// Attaches a recorded verdict to a merge-constructed campaign (the
+  /// journal decision record recovered by sctrace::merge_journals /
+  /// merge_sweep_dir), so report()/write_csv() reproduce the early-stopped
+  /// campaign's bytes exactly.
+  void set_smc_verdict(const SmcSpec& spec, const SmcVerdict& verdict) {
+    smc_spec_ = spec;
+    smc_verdict_ = verdict;
+  }
+
   /// One row per run: seed, completed, makespan, deadlines, faults, weight,
   /// energy, hash. with_cache_stats appends the per-run replay-cache
   /// columns (hits, misses, bypassed, cycles saved); the default columns are
-  /// byte-identical to pre-cache builds.
+  /// byte-identical to pre-cache builds. A campaign with a sequential
+  /// verdict prefixes one '#' summary line (method, outcome, samples used,
+  /// statistic, bound) so the decision travels with the per-run data.
   void write_csv(std::ostream& os, bool with_cache_stats = false) const;
 
  private:
+  void run_sequential(std::uint64_t base_seed, std::size_t n,
+                      const CampaignOptions& opts, std::size_t offset,
+                      class JournalWriter* journal,
+                      const std::vector<std::size_t>& todo);
+
   RunFn fn_;
   std::vector<CampaignRunResult> results_;
+  SmcSpec smc_spec_;
+  std::optional<SmcVerdict> smc_verdict_;
 };
+
+// ---- adaptive importance sampling ------------------------------------------
+
+/// Pilot-batch auto-tuning of the importance-sampling bias factor: instead
+/// of hand-picking a constant, probe candidate factors with small pilot
+/// campaigns and keep the most aggressive one whose Kish ESS fraction still
+/// meets `target_ess_fraction` — biases that explore a different region
+/// than the nominal model collapse the ESS, and the pilot sees that before
+/// the real campaign wastes its budget on it.
+struct AdaptiveBiasOptions {
+  /// Keep ESS / pilot_runs at or above this (0 < target <= 1).
+  double target_ess_fraction = 0.5;
+  /// Seeds per pilot probe. Small on purpose: the pilot's job is to rank
+  /// factors, not to estimate anything.
+  std::size_t pilot_runs = 32;
+  double min_factor = 1.0;
+  double max_factor = 64.0;
+  /// Log-space bisection steps between min and max factor.
+  std::size_t iterations = 6;
+};
+
+struct AdaptiveBiasResult {
+  /// The chosen factor: the largest probed factor meeting the target (or
+  /// min_factor when even that misses it — the pilot cannot do better).
+  double factor = 1.0;
+  /// Achieved ESS fraction of the chosen factor's pilot batch.
+  double ess_fraction = 1.0;
+  /// Total pilot seeds spent across all probes.
+  std::size_t pilot_runs = 0;
+  /// Every (factor, ess_fraction) probed, in probe order.
+  std::vector<std::pair<double, double>> trace;
+};
+
+/// Runs the pilot search. `make_run(factor)` must return a run function
+/// that simulates under the factor-inflated fault model and fills
+/// log_weight against the nominal one (e.g. via scfault::scale_fault_bias +
+/// channel_log_lr/scenario_log_lr). Deterministic: probes use the fixed
+/// seeds [pilot_seed, pilot_seed + pilot_runs), so the chosen factor is a
+/// pure function of (make_run, pilot_seed, opts).
+AdaptiveBiasResult tune_bias_factor(
+    const std::function<FaultCampaign::RunFn(double)>& make_run,
+    std::uint64_t pilot_seed, const AdaptiveBiasOptions& opts = {});
 
 /// Mapping × scenario campaign sweep: the grid-level driver the paper's
 /// design-space exploration needs once faults enter the picture. For every

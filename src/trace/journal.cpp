@@ -16,6 +16,7 @@ using minisc::SimError;
 
 constexpr char kHeaderType = 'H';
 constexpr char kRunType = 'R';
+constexpr char kDecisionType = 'D';
 
 std::uint64_t fnv1a_bytes(const unsigned char* p, std::size_t n,
                           std::uint64_t h = 1469598103934665603ull) {
@@ -144,6 +145,26 @@ std::string encode_run(std::size_t index, const CampaignRunResult& r) {
   return out;
 }
 
+std::string encode_decision(const JournalDecision& d) {
+  std::string out;
+  put_u8(out, static_cast<std::uint8_t>(d.spec.method));
+  put_u8(out, static_cast<std::uint8_t>(d.verdict.outcome));
+  put_u8(out, d.spec.use_weights ? 1 : 0);
+  put_u64(out, d.verdict.samples_used);
+  put_u64(out, d.executed);
+  put_double(out, d.verdict.log_ratio);
+  put_double(out, d.verdict.bound);
+  put_double(out, d.verdict.estimate);
+  put_double(out, d.verdict.ess);
+  put_double(out, d.spec.threshold);
+  put_double(out, d.spec.delta);
+  put_double(out, d.spec.alpha);
+  put_double(out, d.spec.beta);
+  put_u64(out, d.spec.min_samples);
+  put_u64(out, d.spec.window);
+  return out;
+}
+
 /// Frames a payload: type, length, payload, trailing checksum.
 std::string frame(char type, const std::string& payload) {
   std::string out;
@@ -246,6 +267,34 @@ JournalContents read_journal(const std::string& path) {
       }
       if (!c.done()) throw_corrupt(path, record, "has a malformed header");
       have_header = true;
+    } else if (type == kDecisionType) {
+      JournalDecision d;
+      const std::uint8_t method = c.u8();
+      const std::uint8_t outcome = c.u8();
+      if (method > 1 || outcome > 2) {
+        throw_corrupt(path, record, "has an out-of-range decision enum");
+      }
+      d.spec.method = static_cast<SmcMethod>(method);
+      d.verdict.outcome = static_cast<SmcOutcome>(outcome);
+      d.spec.use_weights = c.u8() != 0;
+      d.verdict.samples_used = c.u64();
+      d.executed = c.u64();
+      d.verdict.log_ratio = c.f64();
+      d.verdict.bound = c.f64();
+      d.verdict.estimate = c.f64();
+      d.verdict.ess = c.f64();
+      d.spec.threshold = c.f64();
+      d.spec.delta = c.f64();
+      d.spec.alpha = c.f64();
+      d.spec.beta = c.f64();
+      d.spec.min_samples = static_cast<std::size_t>(c.u64());
+      d.spec.window = static_cast<std::size_t>(c.u64());
+      if (!c.done()) {
+        throw_corrupt(path, record, "has a malformed decision payload");
+      }
+      // Last one wins: a resumed writer could in principle append a second
+      // decision; later records supersede earlier ones, like run records.
+      out.decision = d;
     } else {
       if (type != kRunType) {
         throw_corrupt(path, record, "has an unknown record type");
@@ -356,6 +405,23 @@ void JournalWriter::append(std::size_t index, const CampaignRunResult& r) {
     if (::fsync(fd_) != 0) throw_io(path_, "fsync");
     unsynced_ = 0;
   }
+}
+
+void JournalWriter::append_decision(const JournalDecision& decision) {
+  const std::string rec = frame(kDecisionType, encode_decision(decision));
+  std::unique_lock<std::mutex> lock(mu_);
+  // Sync-before-append makes the decision record the commit point: a
+  // decision that survives a crash proves every run record it covers was
+  // already durable when it was written.
+  if (::fsync(fd_) != 0) throw_io(path_, "fsync");
+  std::size_t off = 0;
+  while (off < rec.size()) {
+    const ssize_t n = ::write(fd_, rec.data() + off, rec.size() - off);
+    if (n < 0) throw_io(path_, "write");
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) throw_io(path_, "fsync");
+  unsynced_ = 0;
 }
 
 void JournalWriter::sync() {

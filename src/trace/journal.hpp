@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -23,8 +24,8 @@ namespace sctrace {
 /// File format (all integers little-endian, doubles stored by bit pattern —
 /// bit-exact round-trips are what make resumed reports byte-identical):
 ///
-///   file   := header-record run-record*
-///   record := type:u8 ('H' | 'R')  len:u32  payload[len]  checksum:u64
+///   file   := header-record run-record* decision-record?
+///   record := type:u8 ('H' | 'R' | 'D')  len:u32  payload[len]  checksum:u64
 ///
 /// The checksum is FNV-1a over the type byte, the 4 length bytes and the
 /// payload. Records are framed independently, so the crash-consistency
@@ -84,10 +85,33 @@ struct JournalRecord {
   CampaignRunResult result;
 };
 
+/// Sequential-verdict decision record ('D', one per journal at most; written
+/// by an smc-engaged campaign after its last executed window, whether the
+/// test decided or exhausted the budget undecided). Its presence is what
+/// legalises recorded-runs < header runs: the campaign *chose* to stop at
+/// `executed` runs, so [0, executed) is the complete record set and the
+/// journal is final — resume replays the decision and runs nothing, merge
+/// accepts it as complete. The writer fsyncs all run records *before*
+/// appending the decision, so a decision record present in a crashed file
+/// implies every run it covers is present too.
+struct JournalDecision {
+  /// The spec that produced the verdict; resume refuses a journal whose
+  /// decision spec differs bitwise from the campaign's (same-hypothesis
+  /// check, the smc analogue of the scenario digest).
+  SmcSpec spec;
+  SmcVerdict verdict;
+  /// Runs actually executed (window-aligned, >= verdict.samples_used;
+  /// == header runs when the budget ran out undecided).
+  std::uint64_t executed = 0;
+};
+
 /// Everything a scan of an existing journal yields.
 struct JournalContents {
   JournalHeader header;
   std::vector<JournalRecord> records;
+  /// The sequential verdict, when the journal carries a decision record
+  /// (last one wins if a resumed writer ever appended a second).
+  std::optional<JournalDecision> decision;
   /// Byte offset one past the last intact record — the append position for
   /// a resuming writer (anything beyond it is a torn tail).
   std::uint64_t valid_bytes = 0;
@@ -136,6 +160,12 @@ class JournalWriter {
   /// carrying the errno text on I/O failure (ENOSPC, EIO, ...); the kind is
   /// non-transient so campaign retry does not hammer a full disk.
   void append(std::size_t index, const CampaignRunResult& result);
+
+  /// Appends the sequential-verdict decision record. Syncs the pending run
+  /// records first and fsyncs again after the append, so the decision is
+  /// the journal's durable commit point: if it survives a crash, every run
+  /// it covers survived with it. Thread-safe.
+  void append_decision(const JournalDecision& decision);
 
   /// Forces the batched fsync now.
   void sync();

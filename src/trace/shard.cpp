@@ -503,6 +503,18 @@ bool shard_journal_complete(const std::string& path, std::size_t runs) {
       ++have;
     }
   }
+  if (contents.decision) {
+    // Early-stopped unit: the decision record marks the journal final at
+    // `executed` runs — it is complete the moment every run it covers is
+    // recorded, which is what makes a pruned sweep cell stop consuming
+    // fleet budget (run_fleet skips complete units).
+    const std::size_t executed = std::min(
+        static_cast<std::size_t>(contents.decision->executed), runs);
+    for (std::size_t i = 0; i < executed; ++i) {
+      if (!done[i]) return false;
+    }
+    return true;
+  }
   return have == runs;
 }
 
@@ -715,6 +727,14 @@ ShardProgress run_sharded_campaign(const FaultCampaign::RunFn& fn,
   if (shard.dir.empty()) {
     throw SimError(SimError::Kind::kBadConfig,
                    "run_sharded_campaign: shard directory must be set");
+  }
+  if (opts.smc.engaged() && shard.shard_count > 1) {
+    throw SimError(
+        SimError::Kind::kBadConfig,
+        "run_sharded_campaign: sequential model checking needs the "
+        "campaign's global seed order, which a sharded campaign splits — "
+        "run the smc campaign unsharded, or shard a sweep (cells are whole "
+        "campaigns and prune independently)");
   }
   std::filesystem::create_directories(shard.dir);
 
@@ -1053,6 +1073,26 @@ MergedCampaign merge_journals(const std::vector<std::string>& paths,
     }
   }
 
+  // Sequential-verdict decisions. A decision record makes recorded-runs <
+  // header total_runs legal: the campaign stopped issuing seeds once the
+  // verdict crossed a boundary. FaultCampaign::run and run_sharded_campaign
+  // both refuse SMC with shard_count > 1, so a decision in a multi-shard
+  // fleet can only mean journal corruption or a hand-mixed layout — refuse.
+  std::size_t expected_end = out.runs;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (!shards[s].decision) continue;
+    if (out.shard_count > 1) {
+      throw_merge_bad("shard journal '" + paths[s] +
+                      "' carries a sequential-verdict decision record but "
+                      "declares " + std::to_string(out.shard_count) +
+                      " shards — sequential campaigns are single-shard, so "
+                      "this journal is corrupt or hand-mixed");
+    }
+    out.decision = shards[s].decision;
+    expected_end = std::min(
+        static_cast<std::size_t>(out.decision->executed), out.runs);
+  }
+
   // Fold records into global slots. Duplicate indices within a journal are
   // benign (a lease-TTL violation appends bit-identical records — runs are
   // deterministic); the last one wins, like journal resume.
@@ -1074,9 +1114,13 @@ MergedCampaign merge_journals(const std::vector<std::string>& paths,
       done[global] = true;
     }
   }
+  // An early-stopped campaign only owes records for the runs it executed:
+  // completeness (and the degraded-merge bookkeeping) is judged over
+  // [0, expected_end), and the merged results are truncated to match so the
+  // merge is byte-identical to the early-stopped single-process campaign.
   std::size_t missing = 0;
   std::size_t first_missing = 0;
-  for (std::size_t i = 0; i < out.runs; ++i) {
+  for (std::size_t i = 0; i < expected_end; ++i) {
     if (!done[i]) {
       if (missing == 0) first_missing = i;
       ++missing;
@@ -1085,7 +1129,7 @@ MergedCampaign merge_journals(const std::vector<std::string>& paths,
   if (missing > 0) {
     if (!opts.allow_partial) {
       throw_merge_incomplete(
-          std::to_string(missing) + " of " + std::to_string(out.runs) +
+          std::to_string(missing) + " of " + std::to_string(expected_end) +
           " runs have no record (first missing global index " +
           std::to_string(first_missing) +
           ") — finish the campaign (workers re-claim incomplete shards) "
@@ -1097,11 +1141,13 @@ MergedCampaign merge_journals(const std::vector<std::string>& paths,
     out.complete = false;
     out.missing_records = missing;
     std::vector<CampaignRunResult> compact;
-    compact.reserve(out.runs - missing);
-    for (std::size_t i = 0; i < out.runs; ++i) {
+    compact.reserve(expected_end - missing);
+    for (std::size_t i = 0; i < expected_end; ++i) {
       if (done[i]) compact.push_back(std::move(out.results[i]));
     }
     out.results = std::move(compact);
+  } else if (expected_end < out.results.size()) {
+    out.results.resize(expected_end);
   }
   out.recorded_runs = out.results.size();
   return out;
@@ -1244,22 +1290,32 @@ MergedSweep merge_sweep_dir(const std::string& dir, const MergeOptions& opts) {
           std::to_string(out.manifest.scenario_digest) +
           ") — this journal belongs to a different sweep");
     }
-    std::vector<CampaignRunResult> slots(runs);
-    std::vector<bool> done(runs, false);
+    // A sequential-verdict decision shrinks what the cell owes: it executed
+    // only `decision->executed` runs before the verdict crossed a boundary,
+    // so completeness is judged over that prefix and cell.runs reports it.
+    std::size_t cell_end = runs;
+    if (jc.decision) {
+      cell.decision = jc.decision;
+      cell_end = std::min(
+          static_cast<std::size_t>(jc.decision->executed), runs);
+      cell.runs = cell_end;
+    }
+    std::vector<CampaignRunResult> slots(cell_end);
+    std::vector<bool> done(cell_end, false);
     for (JournalRecord& rec : jc.records) {
-      if (rec.index >= runs) continue;  // defensive; header pinned runs
+      if (rec.index >= cell_end) continue;  // defensive; header pinned runs
       if (!done[rec.index]) ++cell.records;
       slots[rec.index] = std::move(rec.result);
       done[rec.index] = true;
     }
-    if (cell.records == runs) {
+    if (cell.records == cell_end) {
       cell.results = std::move(slots);
       if (!is_quarantined) cell.state = CellState::kComplete;
     } else {
       // Compact the recorded runs in seed order — deterministic for any
       // worker interleaving, like the campaign-level partial merge.
       cell.results.reserve(cell.records);
-      for (std::size_t i = 0; i < runs; ++i) {
+      for (std::size_t i = 0; i < cell_end; ++i) {
         if (done[i]) cell.results.push_back(std::move(slots[i]));
       }
       if (!is_quarantined) cell.state = CellState::kPartial;
@@ -1308,6 +1364,9 @@ CampaignSweep MergedSweep::to_sweep() const {
   for (const MergedSweepCell& c : cells) {
     if (c.state != CellState::kComplete) continue;
     FaultCampaign campaign(c.results);
+    if (c.decision) {
+      campaign.set_smc_verdict(c.decision->spec, c.decision->verdict);
+    }
     out.push_back(CampaignSweep::Cell{c.mapping, c.scenario,
                                       campaign.report()});
   }
@@ -1367,6 +1426,9 @@ void MergedSweep::write_csv(std::ostream& os) const {
         "mean_fault_energy_pj,records,expected_runs,state\n";
   for (const MergedSweepCell& c : cells) {
     FaultCampaign campaign(c.results);
+    if (c.decision) {
+      campaign.set_smc_verdict(c.decision->spec, c.decision->verdict);
+    }
     const CampaignReport rep = campaign.report();
     os << c.mapping << ',' << c.scenario << ',' << rep.runs << ','
        << rep.failed_runs << ',' << rep.deadline_total << ','

@@ -387,6 +387,13 @@ struct MergedCampaign {
   std::size_t shard_count = 0;
   std::vector<CampaignRunResult> results;
 
+  /// Sequential verdict recovered from the journal's decision record (only
+  /// legal in a single-shard layout — an smc campaign is never sharded).
+  /// With a decision, `results` covers the *executed* runs and the merge is
+  /// complete at that count: attach it to the rebuilt campaign via
+  /// FaultCampaign::set_smc_verdict for byte-identical report/CSV output.
+  std::optional<JournalDecision> decision;
+
   // ---- degraded-merge bookkeeping (allow_partial) ----
   bool complete = true;
   std::size_t recorded_runs = 0;  ///< results.size(); == runs when complete
@@ -437,10 +444,15 @@ struct MergedSweepCell {
   std::string scenario;
   CellState state = CellState::kMissing;
   std::size_t records = 0;  ///< run records recovered
-  std::size_t runs = 0;     ///< records expected (manifest)
+  std::size_t runs = 0;     ///< records expected (manifest, or the decision's
+                            ///< executed count for early-stopped cells)
   std::string error;        ///< quarantine record / read-failure note
   /// Recovered results in seed order (complete and partial cells).
   std::vector<CampaignRunResult> results;
+  /// Sequential verdict of an early-stopped (pruned) cell: the cell is
+  /// complete at decision->executed records, and to_sweep() re-attaches the
+  /// verdict so the rebuilt grid renders the same markers and CSV columns.
+  std::optional<JournalDecision> decision;
 };
 
 /// A merged sweep: the manifest identity plus every cell in grid order.

@@ -1,0 +1,213 @@
+#include "trace/smc.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "kernel/error.hpp"
+#include "trace/campaign.hpp"
+#include "trace/stats.hpp"
+
+namespace sctrace {
+
+namespace {
+
+// The hypotheses' Bernoulli parameters, clamped away from {0, 1} so the
+// log-likelihood increments stay finite even for threshold - delta <= 0
+// ("is the miss probability essentially zero?") or threshold + delta >= 1.
+constexpr double kProbFloor = 1e-12;
+
+double good_p(const SmcSpec& spec) {
+  const double p = spec.threshold - spec.delta;
+  return p < kProbFloor ? kProbFloor : p;
+}
+
+double bad_p(const SmcSpec& spec) {
+  const double p = spec.threshold + spec.delta;
+  return p > 1.0 - kProbFloor ? 1.0 - kProbFloor : p;
+}
+
+void validate(const SmcSpec& spec) {
+  const bool ok = spec.delta > 0.0 && spec.threshold >= 0.0 &&
+                  spec.threshold <= 1.0 && spec.alpha > 0.0 &&
+                  spec.alpha < 1.0 && spec.beta > 0.0 && spec.beta < 1.0 &&
+                  spec.alpha + spec.beta < 1.0 && spec.window > 0;
+  if (!ok) {
+    throw minisc::SimError(
+        minisc::SimError::Kind::kBadConfig,
+        "smc spec requires delta > 0, threshold in [0,1], alpha and beta in "
+        "(0,1) with alpha + beta < 1, and window > 0");
+  }
+}
+
+}  // namespace
+
+const char* to_string(SmcMethod m) {
+  switch (m) {
+    case SmcMethod::kSprt:
+      return "sprt";
+    case SmcMethod::kChernoff:
+      return "chernoff";
+  }
+  return "?";
+}
+
+const char* to_string(SmcOutcome o) {
+  switch (o) {
+    case SmcOutcome::kUndecided:
+      return "undecided";
+    case SmcOutcome::kAccept:
+      return "accept";
+    case SmcOutcome::kReject:
+      return "reject";
+  }
+  return "?";
+}
+
+bool same_smc_spec(const SmcSpec& a, const SmcSpec& b) {
+  return a.method == b.method && a.threshold == b.threshold &&
+         a.delta == b.delta && a.alpha == b.alpha && a.beta == b.beta &&
+         a.min_samples == b.min_samples && a.window == b.window &&
+         a.use_weights == b.use_weights;
+}
+
+double sprt_log_accept(const SmcSpec& spec) {
+  return std::log((1.0 - spec.beta) / spec.alpha);
+}
+
+double sprt_log_reject(const SmcSpec& spec) {
+  return std::log(spec.beta / (1.0 - spec.alpha));
+}
+
+std::size_t chernoff_bound(const SmcSpec& spec) {
+  validate(spec);
+  const double n =
+      std::ceil(std::log(2.0 / (spec.alpha + spec.beta)) /
+                (2.0 * spec.delta * spec.delta));
+  return static_cast<std::size_t>(n);
+}
+
+SequentialTester::SequentialTester(const SmcSpec& spec) : spec_(spec) {
+  validate(spec_);
+  log_accept_ = sprt_log_accept(spec_);
+  log_reject_ = sprt_log_reject(spec_);
+  const double pg = good_p(spec_);
+  const double pb = bad_p(spec_);
+  // LLR of H1 ("good", p = pg) against H0 ("bad", p = pb): a violation is
+  // more likely under H0, so it pushes the walk down toward reject; a clean
+  // run pushes it up toward accept.
+  la_ = std::log(pg / pb);
+  lb_ = std::log((1.0 - pg) / (1.0 - pb));
+  if (spec_.method == SmcMethod::kChernoff) {
+    chernoff_n_ = chernoff_bound(spec_);
+  }
+}
+
+bool SequentialTester::feed(bool violation, double weight) {
+  if (verdict_.decided()) return true;
+  const double w = spec_.use_weights ? weight : 1.0;
+  ++n_;
+  sum_w_ += w;
+  sum_w2_ += w * w;
+  if (violation) k_w_ += w;
+  verdict_.samples_used = n_;
+  verdict_.log_ratio += violation ? w * la_ : w * lb_;
+  verdict_.estimate = sum_w_ > 0.0 ? k_w_ / sum_w_ : 0.0;
+  verdict_.ess = sum_w2_ > 0.0 ? (sum_w_ * sum_w_) / sum_w2_ : 0.0;
+
+  if (n_ < spec_.min_samples) return false;
+  // Collapsed weights must not decide: demand as much *effective* evidence
+  // as the unweighted test's min_samples floor.
+  if (spec_.use_weights &&
+      verdict_.ess < static_cast<double>(spec_.min_samples)) {
+    return false;
+  }
+
+  if (spec_.method == SmcMethod::kSprt) {
+    if (verdict_.log_ratio >= log_accept_) {
+      verdict_.outcome = SmcOutcome::kAccept;
+      verdict_.bound = log_accept_;
+    } else if (verdict_.log_ratio <= log_reject_) {
+      verdict_.outcome = SmcOutcome::kReject;
+      verdict_.bound = log_reject_;
+    }
+  } else {  // kChernoff: fixed-confidence bound, decide exactly at N.
+    if (n_ >= chernoff_n_) {
+      verdict_.outcome = verdict_.estimate <= spec_.threshold
+                             ? SmcOutcome::kAccept
+                             : SmcOutcome::kReject;
+      verdict_.bound = static_cast<double>(chernoff_n_);
+    }
+  }
+  return verdict_.decided();
+}
+
+AdaptiveBiasResult tune_bias_factor(
+    const std::function<FaultCampaign::RunFn(double)>& make_run,
+    std::uint64_t pilot_seed, const AdaptiveBiasOptions& opts) {
+  if (!(opts.target_ess_fraction > 0.0 && opts.target_ess_fraction <= 1.0) ||
+      opts.pilot_runs == 0 || !(opts.min_factor > 0.0) ||
+      opts.max_factor < opts.min_factor) {
+    throw minisc::SimError(
+        minisc::SimError::Kind::kBadConfig,
+        "adaptive bias options require target_ess_fraction in (0,1], "
+        "pilot_runs > 0 and 0 < min_factor <= max_factor");
+  }
+
+  AdaptiveBiasResult out;
+  out.factor = opts.min_factor;
+  out.ess_fraction = 1.0;
+
+  auto probe = [&](double factor) {
+    FaultCampaign pilot(make_run(factor));
+    pilot.run(pilot_seed, opts.pilot_runs);
+    std::vector<double> weights;
+    weights.reserve(opts.pilot_runs);
+    for (const auto& r : pilot.results()) {
+      if (r.completed) weights.push_back(std::exp(r.log_weight));
+    }
+    out.pilot_runs += opts.pilot_runs;
+    const double frac =
+        weights.empty()
+            ? 0.0
+            : kish_ess(weights) / static_cast<double>(opts.pilot_runs);
+    out.trace.emplace_back(factor, frac);
+    return frac;
+  };
+
+  // Greedy first: if the most aggressive factor already keeps the ESS
+  // fraction at target, take it without spending pilot budget on bisection.
+  const double top = probe(opts.max_factor);
+  if (top >= opts.target_ess_fraction) {
+    out.factor = opts.max_factor;
+    out.ess_fraction = top;
+    return out;
+  }
+  if (opts.max_factor == opts.min_factor) {
+    out.ess_fraction = top;
+    return out;
+  }
+
+  // Log-space bisection for the largest factor whose pilot ESS fraction
+  // still meets the target. ESS need not be monotone in the factor, but the
+  // invariant kept here is exact: `lo` always names the largest factor
+  // *observed* to meet the target (min_factor as the fallback floor).
+  double lo = opts.min_factor;
+  double hi = opts.max_factor;
+  double lo_frac = -1.0;  // lazily probed if never improved on
+  for (std::size_t i = 0; i < opts.iterations; ++i) {
+    const double mid = std::sqrt(lo * hi);
+    const double frac = probe(mid);
+    if (frac >= opts.target_ess_fraction) {
+      lo = mid;
+      lo_frac = frac;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo_frac < 0.0) lo_frac = probe(lo);
+  out.factor = lo;
+  out.ess_fraction = lo_frac;
+  return out;
+}
+
+}  // namespace sctrace

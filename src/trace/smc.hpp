@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sctrace {
+
+/// Sequential statistical model checking (SMC) for campaign properties of
+/// the form "P(a run violates its deadline property) <= threshold", after
+/// the Ngo–Legay SMC-for-SystemC line: instead of a fixed Monte-Carlo run
+/// count, a sequential hypothesis test consumes per-run violation
+/// indicators one at a time and stops the moment the verdict is decided at
+/// the requested confidence — often orders of magnitude earlier than any
+/// fixed-N loop, which is what makes a pruned sweep cell cheaper than any
+/// amount of parallelism applied to it.
+///
+/// The hypotheses are separated by an indifference region of half-width
+/// `delta` around `threshold` (Younes' formulation of Wald's test):
+///
+///   H1 ("accept"): p <= threshold - delta   — the property holds
+///   H0 ("reject"): p >= threshold + delta   — the property fails
+///
+/// When the true p lies inside (threshold - delta, threshold + delta)
+/// either answer is acceptable by construction; outside it, the error
+/// probabilities are bounded by alpha (accepting a failing design) and
+/// beta (rejecting a sound one).
+enum class SmcMethod : std::uint8_t {
+  /// Wald's sequential probability ratio test: random-walk the
+  /// log-likelihood ratio of H1 against H0 and stop at the analytic
+  /// boundaries log((1-beta)/alpha) (accept) / log(beta/(1-alpha))
+  /// (reject). Open-ended — the sample count is data-dependent, and tiny
+  /// when the true p clears the indifference region by a wide margin.
+  kSprt = 0,
+  /// Okamoto/Chernoff fixed-confidence bound: consume exactly
+  /// chernoff_bound(spec) samples, then decide by comparing the observed
+  /// violation fraction against `threshold`. The count is known up front
+  /// (and far larger than SPRT's on clear-margin cells) — the honest
+  /// fixed-N yardstick the SPRT is measured against in EXPERIMENTS.
+  kChernoff = 1,
+};
+
+enum class SmcOutcome : std::uint8_t {
+  kUndecided = 0,  ///< budget exhausted without crossing a boundary
+  kAccept = 1,     ///< evidence for H1: P(violation) <= threshold - delta
+  kReject = 2,     ///< evidence for H0: P(violation) >= threshold + delta
+};
+
+const char* to_string(SmcMethod m);
+const char* to_string(SmcOutcome o);
+
+struct SmcSpec {
+  SmcMethod method = SmcMethod::kSprt;
+  /// The property bound p0 of "P(run violates) <= p0".
+  double threshold = 0.0;
+  /// Indifference half-width around the threshold. The spec is engaged iff
+  /// delta > 0 — a default-constructed spec disables sequential testing.
+  double delta = 0.0;
+  double alpha = 0.05;  ///< P(accept | the property actually fails)
+  double beta = 0.05;   ///< P(reject | the property actually holds)
+  /// No decision before this many observations — guards the SPRT against
+  /// stopping on the first handful of lucky draws. For weighted streams it
+  /// doubles as the minimum Kish ESS a decision requires.
+  std::size_t min_samples = 8;
+  /// Campaign integration (FaultCampaign::run): seeds are issued in windows
+  /// of this many runs and the boundary is evaluated between windows, in
+  /// seed order over the completed slots — never in arrival order — which
+  /// is what makes the stopping seed and every output byte identical for
+  /// any thread count (DESIGN §7, "Sequential verdicts"). Direct
+  /// SequentialTester use ignores it.
+  std::size_t window = 32;
+  /// Consume importance-sampling likelihood-ratio weights exp(log_weight):
+  /// the test statistic uses weighted violation counts — a weight-1 stream
+  /// reduces bit-exactly to the unweighted test — and a decision
+  /// additionally requires the Kish ESS to reach min_samples, so collapsed
+  /// weights cannot cross a boundary on junk evidence.
+  bool use_weights = false;
+
+  bool engaged() const { return delta > 0.0; }
+};
+
+/// Bitwise equality of two specs (doubles compared exactly — journal
+/// round-trips preserve bit patterns, so a resumed campaign can prove it
+/// is testing the same hypothesis that decided the journal).
+bool same_smc_spec(const SmcSpec& a, const SmcSpec& b);
+
+/// log((1-beta)/alpha): the SPRT accept boundary (upper).
+double sprt_log_accept(const SmcSpec& spec);
+/// log(beta/(1-alpha)): the SPRT reject boundary (lower).
+double sprt_log_reject(const SmcSpec& spec);
+/// Okamoto/Chernoff sample bound ceil(ln(2/(alpha+beta)) / (2*delta^2)):
+/// enough samples to pin p within +/-delta at total error alpha + beta.
+std::size_t chernoff_bound(const SmcSpec& spec);
+
+/// Where a sequential test ended up.
+struct SmcVerdict {
+  SmcOutcome outcome = SmcOutcome::kUndecided;
+  /// Observations consumed up to and including the deciding one (all
+  /// consumed observations while undecided).
+  std::uint64_t samples_used = 0;
+  /// Final test statistic: the SPRT log-likelihood ratio of H1 vs H0
+  /// (Chernoff reports it too, informationally — it never decides there).
+  double log_ratio = 0.0;
+  /// The bound that decided: the crossed log-boundary for SPRT, the sample
+  /// bound (as a double) for Chernoff. 0 while undecided.
+  double bound = 0.0;
+  /// Observed (weighted) violation fraction over the consumed samples.
+  double estimate = 0.0;
+  /// Kish effective sample size of the consumed weights — equals
+  /// samples_used bit-exactly for unweighted streams.
+  double ess = 0.0;
+
+  bool decided() const { return outcome != SmcOutcome::kUndecided; }
+};
+
+/// The sequential test itself: feed per-run violation indicators in seed
+/// order; once decided, further feeds are ignored (the verdict is frozen at
+/// the crossing observation). Pure statistics — no campaign dependency, so
+/// the operating-characteristic tests can drive it with raw Bernoulli
+/// streams.
+class SequentialTester {
+ public:
+  explicit SequentialTester(const SmcSpec& spec);
+
+  /// Consumes one observation (weight is the importance-sampling likelihood
+  /// ratio exp(log_weight); ignored unless spec.use_weights). Returns
+  /// decided().
+  bool feed(bool violation, double weight = 1.0);
+
+  bool decided() const { return verdict_.decided(); }
+  const SmcVerdict& verdict() const { return verdict_; }
+  const SmcSpec& spec() const { return spec_; }
+
+ private:
+  SmcSpec spec_;
+  SmcVerdict verdict_;
+  double log_accept_ = 0.0;  ///< cached sprt_log_accept
+  double log_reject_ = 0.0;  ///< cached sprt_log_reject
+  double la_ = 0.0;          ///< per-violation LLR increment log(p1/p0)
+  double lb_ = 0.0;          ///< per-non-violation increment log((1-p1)/(1-p0))
+  std::size_t chernoff_n_ = 0;
+  std::uint64_t n_ = 0;      ///< raw observations consumed
+  double k_w_ = 0.0;         ///< weighted violation count
+  double sum_w_ = 0.0;
+  double sum_w2_ = 0.0;
+};
+
+}  // namespace sctrace

@@ -55,4 +55,15 @@ double jitter_ns(const std::vector<scperf::CaptureEvent>& ev) {
   return *mx - *mn;
 }
 
+double kish_ess(const std::vector<double>& weights) {
+  double sum_w = 0.0;
+  double sum_w2 = 0.0;
+  for (double w : weights) {
+    sum_w += w;
+    sum_w2 += w * w;
+  }
+  if (sum_w2 <= 0.0) return 0.0;
+  return (sum_w * sum_w) / sum_w2;
+}
+
 }  // namespace sctrace

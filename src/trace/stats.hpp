@@ -37,4 +37,10 @@ double throughput_per_sec(const std::vector<scperf::CaptureEvent>& ev);
 /// Peak-to-peak period variation (max period - min period), in ns.
 double jitter_ns(const std::vector<scperf::CaptureEvent>& ev);
 
+/// Kish effective sample size (sum w)^2 / sum w^2 of an importance-sampling
+/// weight vector (0 for an empty or all-zero one): how many unweighted
+/// samples the weighted set is worth. Accumulates in input order so campaign
+/// reports and the adaptive-IS pilot agree bit for bit.
+double kish_ess(const std::vector<double>& weights);
+
 }  // namespace sctrace
